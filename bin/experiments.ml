@@ -1,0 +1,46 @@
+(* CLI for the paper-reproduction experiments: run one figure or all.
+
+   Environment knobs: VSPEC_ITERS (iterations per run), VSPEC_REPS
+   (repetitions for the statistical figures), VSPEC_BENCH
+   (comma-separated benchmark ids to restrict the suite). *)
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      Printf.printf "  %-8s %s\n" e.Experiments.Registry.id
+        e.Experiments.Registry.title)
+    Experiments.Registry.all
+
+let run_ids ids =
+  if ids = [] then begin
+    list_experiments ();
+    print_endline "\n(running everything; pass ids to restrict)";
+    Experiments.Registry.run_all ()
+  end
+  else
+    List.iter
+      (fun id ->
+        match Experiments.Registry.find id with
+        | Some e -> e.Experiments.Registry.run ()
+        | None ->
+          Printf.eprintf "unknown experiment %s\n" id;
+          list_experiments ();
+          exit 2)
+      ids
+
+open Cmdliner
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (fig1..fig14, summary).")
+
+let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.")
+
+let main list_only ids =
+  if list_only then list_experiments () else run_ids ids
+
+let cmd =
+  let doc = "reproduce the paper's tables and figures" in
+  Cmd.v (Cmd.info "vspec-experiments" ~doc) Term.(const main $ list_flag $ ids)
+
+let () = exit (Cmd.eval cmd)

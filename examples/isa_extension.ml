@@ -1,0 +1,57 @@
+(* The jsldrsmi ISA extension end to end (paper Section V): compile the
+   SMI dot-product kernel for plain ARM64 and for the extended ISA,
+   diff the generated code, and time both on an in-order and an
+   out-of-order core.
+
+     dune exec examples/isa_extension.exe
+*)
+
+let dp = Option.get (Workloads.Suite.by_id "DP")
+
+let compile arch =
+  let config = Engine.default_config ~arch () in
+  let eng = Engine.create config dp.Workloads.Suite.source in
+  let _ = Engine.run_main eng in
+  for _ = 1 to 20 do
+    ignore (Engine.call_global eng "bench" [||])
+  done;
+  match Engine.compile_now eng "dot" with
+  | Ok code -> code
+  | Error m -> failwith ("compile failed: " ^ m)
+
+let time arch (cpu : Cpu.config) =
+  let config =
+    { (Engine.default_config ~arch ()) with Engine.cpu }
+  in
+  let r = Experiments.Harness.run ~iterations:60 ~config dp in
+  Experiments.Harness.steady_state_cycles r
+
+let () =
+  let plain = compile Arch.Arm64 in
+  let ext = compile Arch.Arm64_smi_ext in
+  Printf.printf
+    "dot() on plain ARM64: %d instructions, %d check instructions\n"
+    (Code.real_instructions plain)
+    (Code.static_check_instructions plain);
+  Printf.printf
+    "dot() with jsldrsmi:  %d instructions, %d check instructions\n\n"
+    (Code.real_instructions ext)
+    (Code.static_check_instructions ext);
+  print_endline "--- extended-ISA inner loop (note the fused loads and the";
+  print_endline "    REG_BA prologue replacing explicit tst+b.ne checks) ---\n";
+  print_string (Code.listing ext);
+  let table =
+    Support.Table.create ~title:"steady-state cycles per iteration"
+      ~columns:[ "CPU model"; "default ISA"; "jsldrsmi"; "speedup" ]
+  in
+  List.iter
+    (fun cpu ->
+      let base = time Arch.Arm64 cpu in
+      let fused = time Arch.Arm64_smi_ext cpu in
+      Support.Table.add_row table
+        [ cpu.Cpu.cfg_name;
+          Printf.sprintf "%.0f" base;
+          Printf.sprintf "%.0f" fused;
+          Support.Table.fmt_speedup (base /. fused) ])
+    [ Cpu.inorder_a55; Cpu.o3_kpg ];
+  Support.Table.print table

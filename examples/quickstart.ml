@@ -1,0 +1,63 @@
+(* Quickstart: embed the engine, run JavaScript on the simulated CPU,
+   watch it tier up, and read the performance counters.
+
+     dune exec examples/quickstart.exe
+*)
+
+let source =
+  {|
+function fib(n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+function Point(x, y) { this.x = x; this.y = y; }
+Point.prototype.norm2 = function() { return this.x * this.x + this.y * this.y; };
+
+function bench() {
+  var p = new Point(3, 4);
+  return fib(15) + p.norm2();
+}
+
+print("fib(15) + |(3,4)|^2 =", bench());
+|}
+
+let () =
+  (* 1. Build an engine: pick an ISA and (optionally) tune the config. *)
+  let config = Engine.default_config ~arch:Arch.Arm64 () in
+  let engine = Engine.create config source in
+
+  (* 2. Run the top-level script (defines globals, prints once). *)
+  let _ = Engine.run_main engine in
+  print_string (Engine.output engine);
+
+  (* 3. Call a global function repeatedly: the engine interprets first,
+     collects type feedback, and optimizes once it is hot. *)
+  for i = 1 to 12 do
+    let v = Engine.call_global engine "bench" [||] in
+    if i mod 4 = 0 then
+      Printf.printf "iteration %2d -> %d (compiled functions so far: %d)\n" i
+        (v asr 1) (* untag the SMI *)
+        (Engine.compile_count engine)
+  done;
+
+  (* 4. Hardware-style counters from the simulated CPU. *)
+  let c = (Engine.cpu engine).Cpu.counters in
+  Printf.printf
+    "\nsimulated CPU: %.0f cycles, %d instructions (%d in JIT code)\n"
+    (Engine.cycles engine) c.Perf.instructions c.Perf.jit_instructions;
+  Printf.printf
+    "deopt checks executed: %d (%.1f per 100 JIT instructions), deopt events: %d\n"
+    c.Perf.check_instructions
+    (100.0 *. float_of_int c.Perf.check_instructions
+     /. float_of_int (max 1 c.Perf.jit_instructions))
+    c.Perf.deopt_events;
+
+  (* 5. Look at the machine code of a hot function. *)
+  match Engine.compile_now engine "fib" with
+  | Ok code ->
+    Printf.printf "\noptimized code for fib (%d instructions, %d checks):\n\n"
+      (Code.real_instructions code)
+      (Code.static_check_instructions code);
+    print_string (Code.listing code)
+  | Error m -> Printf.printf "fib did not compile: %s\n" m

@@ -1,0 +1,100 @@
+type variant =
+  | V_normal
+  | V_no_checks of Insn.check_group list
+  | V_no_branches
+  | V_interp_only
+  | V_smi_ext
+  | V_trust_elements
+  | V_turboprop
+
+let variant_name = function
+  | V_normal -> "normal"
+  | V_no_checks gs ->
+    "no-checks:"
+    ^ String.concat "+" (List.map Insn.group_name gs)
+  | V_no_branches -> "no-branches"
+  | V_interp_only -> "interp"
+  | V_smi_ext -> "smi-ext"
+  | V_trust_elements -> "trust-elements"
+  | V_turboprop -> "turboprop"
+
+let config_for ?cpu ~arch ~seed variant =
+  let base = Engine.default_config ~arch () in
+  let base =
+    match cpu with Some c -> { base with Engine.cpu = c } | None -> base
+  in
+  let base = { base with Engine.seed } in
+  match variant with
+  | V_normal -> base
+  | V_no_checks groups ->
+    { base with
+      Engine.checks = { Engine.disabled_groups = groups; remove_branches = false } }
+  | V_no_branches ->
+    { base with
+      Engine.checks = { Engine.disabled_groups = []; remove_branches = true } }
+  | V_interp_only -> { base with Engine.enable_optimizer = false }
+  | V_smi_ext -> { base with Engine.arch = Arch.Arm64_smi_ext }
+  | V_trust_elements -> { base with Engine.trust_elements_kind = true }
+  | V_turboprop -> { base with Engine.turboprop = true }
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i when i > 0 -> i | _ -> default)
+  | None -> default
+
+let iterations () = env_int "VSPEC_ITERS" 200
+let repetitions () = env_int "VSPEC_REPS" 5
+
+let cache : (string, Harness.result) Hashtbl.t = Hashtbl.create 64
+
+let run_cached ?cpu ?iterations:iters ~arch ~seed variant bench =
+  let iters = match iters with Some i -> i | None -> iterations () in
+  let cpu_name =
+    match cpu with Some c -> c.Cpu.cfg_name | None -> "default"
+  in
+  let key =
+    Printf.sprintf "%s|%s|%s|%d|%d|%s" bench.Workloads.Suite.id
+      (Arch.name arch) (variant_name variant) seed iters cpu_name
+  in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let config = config_for ?cpu ~arch ~seed variant in
+    let r = Harness.run ~iterations:iters ~config bench in
+    Hashtbl.replace cache key r;
+    r
+
+let calib_cache : (string, Insn.check_group list * Insn.check_group list) Hashtbl.t =
+  Hashtbl.create 64
+
+let removable_groups ~arch bench =
+  let key = bench.Workloads.Suite.id ^ "|" ^ Arch.name arch in
+  match Hashtbl.find_opt calib_cache key with
+  | Some r -> r
+  | None ->
+    let config = config_for ~arch ~seed:1 V_normal in
+    let r = Harness.calibrate_removable ~iterations:60 ~config bench in
+    Hashtbl.replace calib_cache key r;
+    r
+
+let ref_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+
+let reference_checksum bench =
+  match Hashtbl.find_opt ref_cache bench.Workloads.Suite.id with
+  | Some v -> v
+  | None ->
+    let r =
+      run_cached ~iterations:3 ~arch:Arch.Arm64 ~seed:1 V_interp_only bench
+    in
+    Hashtbl.replace ref_cache bench.Workloads.Suite.id r.Harness.checksum;
+    r.Harness.checksum
+
+let suite () =
+  match Sys.getenv_opt "VSPEC_BENCH" with
+  | None | Some "" -> Workloads.Suite.all
+  | Some ids ->
+    let wanted = String.split_on_char ',' ids in
+    List.filter
+      (fun (b : Workloads.Suite.benchmark) ->
+        List.mem b.Workloads.Suite.id wanted)
+      Workloads.Suite.all

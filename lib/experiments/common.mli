@@ -1,0 +1,40 @@
+(** Shared experiment plumbing: engine-config variants, a process-wide
+    result cache (figures share the expensive "normal run" of every
+    benchmark), and the check-removal calibration cache. *)
+
+type variant =
+  | V_normal
+  | V_no_checks of Insn.check_group list  (** groups short-circuited *)
+  | V_no_branches
+  | V_interp_only
+  | V_smi_ext
+  | V_trust_elements
+  | V_turboprop
+
+val variant_name : variant -> string
+
+val config_for :
+  ?cpu:Cpu.config -> arch:Arch.t -> seed:int -> variant -> Engine.config
+
+val iterations : unit -> int
+(** Default 200; override with VSPEC_ITERS. *)
+
+val repetitions : unit -> int
+(** Default 5 (paper: 30); override with VSPEC_REPS. *)
+
+val run_cached :
+  ?cpu:Cpu.config -> ?iterations:int -> arch:Arch.t -> seed:int ->
+  variant -> Workloads.Suite.benchmark -> Harness.result
+(** Memoized {!Harness.run}. *)
+
+val removable_groups :
+  arch:Arch.t -> Workloads.Suite.benchmark ->
+  Insn.check_group list * Insn.check_group list
+(** Memoized calibration: (removable, leftover/fired). *)
+
+val reference_checksum : Workloads.Suite.benchmark -> float
+(** Interpreter-only checksum used to validate every configuration. *)
+
+val suite : unit -> Workloads.Suite.benchmark list
+(** The benchmark list, restricted by VSPEC_BENCH (comma-separated ids)
+    if set. *)

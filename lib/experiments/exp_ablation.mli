@@ -1,0 +1,8 @@
+(** Ablation from DESIGN.md §5: element-load re-checking.
+
+    The default configuration re-emits Not-a-SMI checks on values loaded
+    from PACKED_SMI arrays (reproducing the paper's Fig 3 code shape);
+    the ablation trusts the elements kind instead, as newer TurboFan
+    type propagation would. *)
+
+val elements : unit -> unit

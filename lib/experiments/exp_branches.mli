@@ -1,0 +1,8 @@
+(** Fig 10: removing only the deopt branches (conditions kept).
+
+    Reproduces the paper's Section IV-B result: a large reduction in
+    retired branches with only a marginal speedup, because the
+    never-taken check branches are predicted almost perfectly — the cost
+    of a check is its condition computation. *)
+
+val fig10 : unit -> unit

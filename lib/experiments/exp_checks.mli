@@ -1,0 +1,16 @@
+(** Check-characterization experiments.
+
+    - [fig1]: deoptimization checks per 100 instructions across the
+      suite on X64 and ARM64 (paper Fig 1: ~4/100 with little variance;
+      see EXPERIMENTS.md for the expected scale difference).
+    - [fig3]: annotated machine-code listing of the hottest compiled
+      function of SPMV-CSR-SMI with per-instruction PC-sample counts.
+    - [fig4]: per-check-type frequency and sampled-overhead breakdown on
+      both ISAs.
+    - [fig5]: Sea-of-Nodes check short-circuiting — node counts before
+      and after, per removed group (dead ancestors included). *)
+
+val fig1 : unit -> unit
+val fig3 : unit -> unit
+val fig4 : unit -> unit
+val fig5 : unit -> unit

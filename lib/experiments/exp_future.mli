@@ -1,0 +1,9 @@
+(** Future-work prototype (paper Section VII): the paper suggests the
+    [jsldrsmi] approach generalizes to other checks, "e.g. map and
+    boundary checks".  This experiment implements fused map checks
+    ([jschkmap]: map-word load + compare + branch-free bailout) and
+    measures them on the object-heavy benchmarks where Type checks
+    dominate.  Not part of the paper's evaluation; run explicitly with
+    [vspec-experiments futurework]. *)
+
+val futurework : unit -> unit

@@ -1,0 +1,17 @@
+(** ISA-extension experiments (paper Section V).
+
+    - [fig11]: code listings of the SMI dot-product kernel on plain
+      ARM64 and with [jsldrsmi] — fused loads, fewer explicit checks,
+      the [REG_BA] bailout prologue.
+    - [fig12]: the load-unit datapath semantics, demonstrated by
+      executing the fused instruction on both check outcomes.
+    - [fig13]: speedups of the extended ISA on the SMI-heavy kernels
+      across the four detailed CPU models (paper: mean ~3 %, up to
+      ~10 %, ~4 % fewer retired instructions).
+    - [fig14]: execution-time distributions (quartiles over repetitions)
+      for default vs extended ISA. *)
+
+val fig11 : unit -> unit
+val fig12 : unit -> unit
+val fig13 : unit -> unit
+val fig14 : unit -> unit

@@ -1,0 +1,6 @@
+(** Fig 2: the engine's compilation pipeline and its code
+    representations, shown on a concrete function: source, bytecode
+    (Ignition tier), graph IR with checks (TurboFan tier), and final
+    machine code. *)
+
+val fig2 : unit -> unit

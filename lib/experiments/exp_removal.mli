@@ -1,0 +1,26 @@
+(** Check-removal experiments (paper Sections III-B and IV).
+
+    - [fig6]: per-iteration relative execution time with checks and
+      after calibrated check removal; deopt-event markers; leftover
+      benchmarks flagged [*]; interpreter-vs-steady-state ratio.
+    - [fig7]: per-benchmark speedups from both estimation methods with
+      95 % CIs and Bonferroni-adjusted practical significance.
+    - [fig8]: the same speedups aggregated by benchmark category.
+    - [fig9]: statistical comparison of the two estimators — linear
+      regression, R^2, Pearson correlation, zero-correlation p-value. *)
+
+val fig6 : unit -> unit
+val fig7 : unit -> unit
+val fig8 : unit -> unit
+val fig9 : unit -> unit
+
+(** Shared computation: per-benchmark speedup estimates on one arch. *)
+type speedups = {
+  s_bench : Workloads.Suite.benchmark;
+  s_removal : float array;      (** per repetition: cycles_with / cycles_without *)
+  s_sampling : float;           (** (1 - overhead)^-1 from PC samples *)
+  s_leftover : bool;
+  s_sig : Support.Stats.significance;
+}
+
+val speedups_for : arch:Arch.t -> Workloads.Suite.benchmark -> speedups

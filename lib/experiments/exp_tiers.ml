@@ -1,0 +1,43 @@
+let tiers () =
+  Support.Table.section
+    "Tier ablation: interpreter / baseline (SparkPlug) / TurboProp / TurboFan";
+  let arch = Arch.Arm64 in
+  let iters = max 40 (Common.iterations () / 4) in
+  let t =
+    Support.Table.create
+      ~title:
+        "steady-state cycles per iteration, normalized to the optimizer (lower = faster)"
+      ~columns:
+        [ "benchmark"; "interp"; "baseline"; "turboprop"; "turbofan";
+          "tp checks/100"; "tf checks/100" ]
+  in
+  let run b variant extra =
+    let config = Common.config_for ~arch ~seed:1 variant in
+    let config = extra config in
+    Harness.run ~iterations:iters ~config b
+  in
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      let interp = run b Common.V_interp_only Fun.id in
+      let baseline =
+        run b Common.V_interp_only (fun c ->
+            { c with Engine.enable_baseline = true })
+      in
+      let turboprop = run b Common.V_turboprop Fun.id in
+      let turbofan = run b Common.V_normal Fun.id in
+      let s r = Harness.steady_state_cycles r in
+      let base = s turbofan in
+      if base > 0.0 then
+        Support.Table.add_row t
+          [ b.Workloads.Suite.id;
+            Printf.sprintf "%.2fx" (s interp /. base);
+            Printf.sprintf "%.2fx" (s baseline /. base);
+            Printf.sprintf "%.2fx" (s turboprop /. base);
+            "1.00x";
+            Printf.sprintf "%.1f" (Harness.checks_per_100 turboprop);
+            Printf.sprintf "%.1f" (Harness.checks_per_100 turbofan) ])
+    (Common.suite ());
+  Support.Table.print t;
+  print_endline
+    "(TurboProp skips the check-elimination/hoisting passes: same\n\
+    \ speculation, more checks -- the paper's mid-tier description.)"

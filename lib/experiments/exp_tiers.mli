@@ -1,0 +1,6 @@
+(** Tier ablation (beyond the paper's evaluation, motivated by its
+    Fig 2 pipeline): interpreter-only vs SparkPlug-style baseline vs the
+    optimizing compiler vs the reduced-pass mid-tier (TurboProp), plus
+    the check-hoisting ablation. *)
+
+val tiers : unit -> unit

@@ -1,0 +1,229 @@
+type result = {
+  bench : Workloads.Suite.benchmark;
+  arch : Arch.t;
+  iterations : int;
+  checksum : float;
+  error : string option;
+  iter_cycles : float array;
+  iter_deopts : int array;
+  counters : Perf.counters;
+  total_cycles : float;
+  jit_samples : int;
+  total_samples : int;
+  window_check_samples : int array;
+  truth_check_samples : int array;
+  static_checks : int;
+  static_insns : int;
+  compiles : int;
+  gc_runs : int;
+}
+
+let with_seed (cfg : Engine.config) seed = { cfg with Engine.seed }
+
+(* Sample attribution over one code object.
+
+   Window heuristic (paper Section III-A): every PC sample that lands on
+   a deopt branch, or within [Arch.check_window] non-pseudo instructions
+   before it, counts toward the branch's check group.
+
+   Ground truth: instruction provenance recorded by the code
+   generator. *)
+let attribute_code ~(code : Code.t) ~(samples : int array) ~window_acc
+    ~truth_acc =
+  let insns = code.Code.insns in
+  let w = Arch.check_window code.Code.arch in
+  let n = Array.length insns in
+  (* Mark window membership. *)
+  let window_group = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    let mark_from group =
+      window_group.(i) <- group;
+      (* Walk back over up to [w] preceding non-pseudo instructions. *)
+      let remaining = ref w in
+      let j = ref (i - 1) in
+      while !remaining > 0 && !j >= 0 do
+        if not (Insn.is_pseudo insns.(!j).Insn.kind) then begin
+          if window_group.(!j) < 0 then window_group.(!j) <- group;
+          decr remaining
+        end;
+        decr j
+      done
+    in
+    match insns.(i).Insn.kind with
+    | Insn.Deopt_if (_, dp) ->
+      let reason = code.Code.deopts.(dp).Code.reason in
+      mark_from (Insn.group_index (Insn.group_of_reason reason))
+    | Insn.Js_ldr_smi { deopt; _ } ->
+      let reason = code.Code.deopts.(deopt).Code.reason in
+      window_group.(i) <- Insn.group_index (Insn.group_of_reason reason)
+    | _ -> ()
+  done;
+  let jit = ref 0 in
+  for i = 0 to min (n - 1) (Array.length samples - 1) do
+    let s = samples.(i) in
+    if s > 0 then begin
+      jit := !jit + s;
+      if window_group.(i) >= 0 then
+        window_acc.(window_group.(i)) <- window_acc.(window_group.(i)) + s;
+      match insns.(i).Insn.prov with
+      | Insn.Check { group; _ } ->
+        let gi = Insn.group_index group in
+        truth_acc.(gi) <- truth_acc.(gi) + s
+      | Insn.Main_line | Insn.Shared -> ()
+    end
+  done;
+  !jit
+
+let copy_counters c =
+  let fresh = Perf.create_counters () in
+  Perf.add_counters fresh c;
+  fresh
+
+let run ?(iterations = 300) ~(config : Engine.config) bench =
+  let eng = Engine.create config bench.Workloads.Suite.source in
+  let cpu = Engine.cpu eng in
+  let counters = cpu.Cpu.counters in
+  let h = (Engine.runtime eng).Runtime.heap in
+  let iter_cycles = Array.make iterations 0.0 in
+  let iter_deopts = Array.make iterations 0 in
+  let checksum = ref Float.nan in
+  let error = ref None in
+  (try
+     let _ = Engine.run_main eng in
+     let i = ref 0 in
+     while !i < iterations && !error = None do
+       let c0 = Engine.cycles eng in
+       let d0 = counters.Perf.deopt_events in
+       (try
+          let v = Engine.call_global eng "bench" [||] in
+          checksum := Heap.number_value h v
+        with
+       | Exec.Machine_fault m -> error := Some ("machine fault: " ^ m)
+       | Builtins.Js_error m -> error := Some ("js error: " ^ m)
+       | e ->
+         (* Configurations that deliberately alter semantics (paper
+            Fig 10 removes deopt branches) can corrupt downstream values
+            arbitrarily; report, do not crash the experiment. *)
+         error := Some ("runtime divergence: " ^ Printexc.to_string e));
+       iter_cycles.(!i) <- Engine.cycles eng -. c0;
+       iter_deopts.(!i) <- counters.Perf.deopt_events - d0;
+       Engine.iteration_safepoint eng;
+       incr i
+     done
+   with
+  | Exec.Machine_fault m -> error := Some ("machine fault in setup: " ^ m)
+  | Builtins.Js_error m -> error := Some ("js error in setup: " ^ m)
+  | Heap.Out_of_memory -> error := Some "out of memory"
+  | e -> error := Some ("setup divergence: " ^ Printexc.to_string e));
+  (* Sample attribution. *)
+  let window_acc = Array.make 6 0 in
+  let truth_acc = Array.make 6 0 in
+  let jit_samples = ref 0 in
+  let total_samples = ref 0 in
+  (match Engine.sampler eng with
+  | None -> ()
+  | Some s ->
+    total_samples := Perf.total_samples s;
+    List.iter
+      (fun (code_id, _) ->
+        if code_id >= 0 then begin
+          match Engine.code_of_id eng code_id with
+          | None -> ()
+          | Some code ->
+            let samples =
+              Perf.samples_for s ~code_id ~size:(Array.length code.Code.insns)
+            in
+            jit_samples :=
+              !jit_samples
+              + attribute_code ~code ~samples ~window_acc ~truth_acc
+        end)
+      (Perf.samples_by_code s));
+  let static_checks, static_insns =
+    List.fold_left
+      (fun (c, n) code ->
+        (c + Code.static_check_instructions code, n + Code.real_instructions code))
+      (0, 0) (Engine.all_codes eng)
+  in
+  {
+    bench;
+    arch = config.Engine.arch;
+    iterations;
+    checksum = !checksum;
+    error = !error;
+    iter_cycles;
+    iter_deopts;
+    counters = copy_counters counters;
+    total_cycles = Engine.cycles eng;
+    jit_samples = !jit_samples;
+    total_samples = !total_samples;
+    window_check_samples = window_acc;
+    truth_check_samples = truth_acc;
+    static_checks;
+    static_insns;
+    compiles = Engine.compile_count eng;
+    gc_runs = Heap.gc_count h;
+  }
+
+let calibrate_removable ?(iterations = 100) ~config bench =
+  (* A normal run records which deopt reasons actually fire; their
+     groups must keep their checks (paper Section III-B2). *)
+  let eng_fired =
+    let eng = Engine.create config bench.Workloads.Suite.source in
+    (try
+       let _ = Engine.run_main eng in
+       for _ = 1 to iterations do
+         ignore (Engine.call_global eng "bench" [||])
+       done
+     with _ -> ());
+    Engine.deopt_counts eng
+  in
+  let fired_groups =
+    List.sort_uniq compare
+      (List.map (fun (reason, _) -> Insn.group_of_reason reason) eng_fired)
+  in
+  let removable =
+    List.filter (fun g -> not (List.mem g fired_groups)) Insn.all_groups
+  in
+  (removable, fired_groups)
+
+let overhead_window r =
+  if r.jit_samples = 0 then 0.0
+  else
+    float_of_int (Array.fold_left ( + ) 0 r.window_check_samples)
+    /. float_of_int r.jit_samples
+
+let overhead_truth r =
+  if r.jit_samples = 0 then 0.0
+  else
+    float_of_int (Array.fold_left ( + ) 0 r.truth_check_samples)
+    /. float_of_int r.jit_samples
+
+let checks_per_100 r =
+  if r.counters.Perf.jit_instructions = 0 then 0.0
+  else
+    100.0
+    *. float_of_int r.counters.Perf.check_instructions
+    /. float_of_int r.counters.Perf.jit_instructions
+
+let group_window_share r g =
+  let total = Array.fold_left ( + ) 0 r.window_check_samples in
+  if total = 0 then 0.0
+  else
+    float_of_int r.window_check_samples.(Insn.group_index g)
+    /. float_of_int total
+
+let group_freq_per_100 r g =
+  if r.counters.Perf.jit_instructions = 0 then 0.0
+  else
+    100.0
+    *. float_of_int r.counters.Perf.check_per_group.(Insn.group_index g)
+    /. float_of_int r.counters.Perf.jit_instructions
+
+let steady_state_cycles r =
+  let n = Array.length r.iter_cycles in
+  if n = 0 then 0.0
+  else begin
+    let from = n - max 1 (n / 3) in
+    let slice = Array.sub r.iter_cycles from (n - from) in
+    Support.Stats.mean slice
+  end

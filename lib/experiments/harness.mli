@@ -1,0 +1,68 @@
+(** Benchmark measurement harness.
+
+    Runs one benchmark under one engine configuration for N iterations
+    and collects everything the paper's figures need: per-iteration
+    cycle counts, hardware counters, ground-truth and window-heuristic
+    PC-sample attribution (Section III-A), deoptimization events, and a
+    result checksum for correctness validation.
+
+    [calibrate_removable] implements the paper's leftover-check
+    procedure (Section III-B2): check groups whose deoptimizations
+    actually fire in a normal run must stay; everything else can be
+    short-circuited without altering behavior. *)
+
+type result = {
+  bench : Workloads.Suite.benchmark;
+  arch : Arch.t;
+  iterations : int;
+  checksum : float;
+  error : string option;            (** machine fault / JS error, if any *)
+  iter_cycles : float array;        (** per-iteration elapsed cycles *)
+  iter_deopts : int array;          (** deopt events per iteration *)
+  counters : Perf.counters;         (** totals over the whole run *)
+  total_cycles : float;
+  jit_samples : int;                (** PC samples landing in JIT code *)
+  total_samples : int;
+  window_check_samples : int array; (** per check group (paper heuristic) *)
+  truth_check_samples : int array;  (** per check group (provenance) *)
+  static_checks : int;              (** static check instructions, final codes *)
+  static_insns : int;
+  compiles : int;
+  gc_runs : int;
+}
+
+val run :
+  ?iterations:int -> config:Engine.config ->
+  Workloads.Suite.benchmark -> result
+(** Default 300 iterations.  Never raises: faults are reported in
+    [error]. *)
+
+val calibrate_removable :
+  ?iterations:int -> config:Engine.config ->
+  Workloads.Suite.benchmark -> Insn.check_group list * Insn.check_group list
+(** [(removable, leftover)] — groups safe to remove vs groups whose
+    checks fired during a normal run. *)
+
+val overhead_window : result -> float
+(** Fraction of JIT-code samples attributed to checks by the window
+    heuristic. *)
+
+val overhead_truth : result -> float
+val checks_per_100 : result -> float
+(** Dynamic check instructions per 100 retired JIT instructions. *)
+
+val group_window_share : result -> Insn.check_group -> float
+val group_freq_per_100 : result -> Insn.check_group -> float
+
+val steady_state_cycles : result -> float
+(** Mean cycles per iteration over the last third of the run. *)
+
+val with_seed : Engine.config -> int -> Engine.config
+
+val attribute_code :
+  code:Code.t -> samples:int array -> window_acc:int array ->
+  truth_acc:int array -> int
+(** The Section III-A estimator in isolation: attributes per-instruction
+    PC samples to check groups via the arch window heuristic
+    ([window_acc]) and via instruction provenance ([truth_acc]); returns
+    the total samples on the code object.  Exposed for testing. *)

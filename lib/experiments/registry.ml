@@ -1,0 +1,37 @@
+type entry = { id : string; title : string; run : unit -> unit }
+
+let all =
+  [
+    { id = "fig1"; title = "checks per 100 instructions"; run = Exp_checks.fig1 };
+    { id = "fig2"; title = "compilation pipeline + code representations";
+      run = Exp_pipeline.fig2 };
+    { id = "fig3"; title = "annotated listing with PC samples"; run = Exp_checks.fig3 };
+    { id = "fig4"; title = "check-type frequency and overhead breakdown";
+      run = Exp_checks.fig4 };
+    { id = "fig5"; title = "graph check short-circuiting"; run = Exp_checks.fig5 };
+    { id = "fig6"; title = "per-iteration time, checks vs removed";
+      run = Exp_removal.fig6 };
+    { id = "fig7"; title = "per-benchmark speedups with CIs and significance";
+      run = Exp_removal.fig7 };
+    { id = "fig8"; title = "speedups by category"; run = Exp_removal.fig8 };
+    { id = "fig9"; title = "correlation of the two estimators"; run = Exp_removal.fig9 };
+    { id = "fig10"; title = "branch-only removal HW metrics"; run = Exp_branches.fig10 };
+    { id = "fig11"; title = "jsldrsmi code listings"; run = Exp_isa.fig11 };
+    { id = "fig12"; title = "jsldrsmi datapath semantics"; run = Exp_isa.fig12 };
+    { id = "fig13"; title = "extended-ISA speedups per CPU model"; run = Exp_isa.fig13 };
+    { id = "fig14"; title = "execution-time distributions per ISA"; run = Exp_isa.fig14 };
+    { id = "tiers"; title = "tier ablation (interp/baseline/turboprop/turbofan)";
+      run = Exp_tiers.tiers };
+    { id = "ablate-elements"; title = "element-load re-check ablation";
+      run = Exp_ablation.elements };
+    { id = "futurework"; title = "fused map checks (paper's Section VII sketch)";
+      run = Exp_future.futurework };
+    { id = "summary"; title = "paper-vs-measured headline table"; run = Summary.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+(* The future-work prototype is beyond the paper's evaluation: runnable
+   explicitly, excluded from the default full run. *)
+let run_all () =
+  List.iter (fun e -> if e.id <> "futurework" then e.run ()) all

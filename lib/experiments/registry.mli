@@ -1,0 +1,12 @@
+(** Experiment registry: id -> driver, for the CLI and the bench
+    harness. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : unit -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val run_all : unit -> unit

@@ -1,0 +1,3 @@
+(** Paper-vs-measured table for the headline scalar claims. *)
+
+val run : unit -> unit

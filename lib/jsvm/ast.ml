@@ -1,0 +1,130 @@
+type position = { line : int; col : int }
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge
+  | Eq | Neq | Strict_eq | Strict_neq
+  | Bit_and | Bit_or | Bit_xor
+  | Shl | Shr | Ushr
+  | Logical_and | Logical_or
+
+type unop = Neg | Plus | Not | Bit_not | Typeof
+
+type expr =
+  | Number of float
+  | String of string
+  | Bool of bool
+  | Null
+  | Undefined
+  | Ident of string
+  | This
+  | Array_lit of expr list
+  | Object_lit of (string * expr) list
+  | Function_expr of func
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of target * expr
+  | Compound_assign of binop * target * expr
+  | Update of { op_add : bool; prefix : bool; target : target }
+  | Conditional of expr * expr * expr
+  | Call of expr * expr list
+  | Method_call of expr * string * expr list
+  | New of expr * expr list
+  | Member of expr * string
+  | Index of expr * expr
+
+and target =
+  | T_ident of string
+  | T_member of expr * string
+  | T_index of expr * expr
+
+and func = { fname : string option; params : string list; body : stmt list }
+
+and stmt =
+  | Expr_stmt of expr
+  | Var_decl of (string * expr option) list
+  | Func_decl of func
+  | Return of expr option
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * expr option * stmt list
+  | Break
+  | Continue
+  | Block of stmt list
+
+type program = stmt list
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Neq -> "!="
+  | Strict_eq -> "==="
+  | Strict_neq -> "!=="
+  | Bit_and -> "&"
+  | Bit_or -> "|"
+  | Bit_xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Ushr -> ">>>"
+  | Logical_and -> "&&"
+  | Logical_or -> "||"
+
+let rec expr_to_string = function
+  | Number f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+  | String s -> Printf.sprintf "%S" s
+  | Bool b -> string_of_bool b
+  | Null -> "null"
+  | Undefined -> "undefined"
+  | Ident s -> s
+  | This -> "this"
+  | Array_lit es -> "[" ^ String.concat ", " (List.map expr_to_string es) ^ "]"
+  | Object_lit fields ->
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> k ^ ": " ^ expr_to_string v) fields)
+    ^ "}"
+  | Function_expr f ->
+    Printf.sprintf "function %s(%s){...}"
+      (Option.value ~default:"" f.fname)
+      (String.concat ", " f.params)
+  | Unary (op, e) ->
+    let s = match op with
+      | Neg -> "-" | Plus -> "+" | Not -> "!" | Bit_not -> "~" | Typeof -> "typeof "
+    in
+    s ^ expr_to_string e
+  | Binary (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op) (expr_to_string b)
+  | Assign (t, e) -> Printf.sprintf "%s = %s" (target_to_string t) (expr_to_string e)
+  | Compound_assign (op, t, e) ->
+    Printf.sprintf "%s %s= %s" (target_to_string t) (binop_str op) (expr_to_string e)
+  | Update { op_add; prefix; target } ->
+    let op = if op_add then "++" else "--" in
+    if prefix then op ^ target_to_string target else target_to_string target ^ op
+  | Conditional (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+      (expr_to_string b)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" (expr_to_string f)
+      (String.concat ", " (List.map expr_to_string args))
+  | Method_call (o, m, args) ->
+    Printf.sprintf "%s.%s(%s)" (expr_to_string o) m
+      (String.concat ", " (List.map expr_to_string args))
+  | New (f, args) ->
+    Printf.sprintf "new %s(%s)" (expr_to_string f)
+      (String.concat ", " (List.map expr_to_string args))
+  | Member (o, f) -> expr_to_string o ^ "." ^ f
+  | Index (o, i) -> Printf.sprintf "%s[%s]" (expr_to_string o) (expr_to_string i)
+
+and target_to_string = function
+  | T_ident s -> s
+  | T_member (o, f) -> expr_to_string o ^ "." ^ f
+  | T_index (o, i) -> Printf.sprintf "%s[%s]" (expr_to_string o) (expr_to_string i)

@@ -1,0 +1,73 @@
+(** Abstract syntax of the JavaScript subset.
+
+    Covers the language features the workload suite exercises: numbers,
+    strings, arrays, objects with prototype-based methods, closures,
+    constructors via [new], the full expression operator set, and the
+    usual control flow.  Omitted (documented in DESIGN.md): exceptions,
+    getters/setters, generators, [for-in]/[for-of], [with]. *)
+
+type position = { line : int; col : int }
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge
+  | Eq | Neq | Strict_eq | Strict_neq
+  | Bit_and | Bit_or | Bit_xor
+  | Shl | Shr | Ushr
+  | Logical_and | Logical_or
+
+type unop = Neg | Plus | Not | Bit_not | Typeof
+
+type expr =
+  | Number of float
+  | String of string
+  | Bool of bool
+  | Null
+  | Undefined
+  | Ident of string
+  | This
+  | Array_lit of expr list
+  | Object_lit of (string * expr) list
+  | Function_expr of func
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of target * expr
+  | Compound_assign of binop * target * expr
+  | Update of { op_add : bool; prefix : bool; target : target }
+  | Conditional of expr * expr * expr
+  | Call of expr * expr list
+  | Method_call of expr * string * expr list
+  | New of expr * expr list
+  | Member of expr * string
+  | Index of expr * expr
+
+and target =
+  | T_ident of string
+  | T_member of expr * string
+  | T_index of expr * expr
+
+and func = {
+  fname : string option;
+  params : string list;
+  body : stmt list;
+}
+
+and stmt =
+  | Expr_stmt of expr
+  | Var_decl of (string * expr option) list
+  | Func_decl of func
+  | Return of expr option
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * expr option * stmt list
+  | Break
+  | Continue
+  | Block of stmt list
+
+type program = stmt list
+
+val expr_to_string : expr -> string
+(** Compact debugging rendering. *)
+
+val binop_str : binop -> string

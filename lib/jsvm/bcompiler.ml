@@ -1,0 +1,763 @@
+open Ast
+
+exception Compile_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Compile_error m)) fmt
+
+type unit_ = { functions : Bytecode.func_info array; main : int }
+
+(* ------------------------------------------------------------------ *)
+(* Free-variable analysis (which locals must live in contexts)         *)
+(* ------------------------------------------------------------------ *)
+
+module StringSet = Set.Make (String)
+
+(* Names declared directly in a function body: params, vars, nested
+   function declarations. *)
+let declared_names (params : string list) (body : stmt list) =
+  let acc = ref (StringSet.of_list params) in
+  let add n = acc := StringSet.add n !acc in
+  let rec stmt = function
+    | Var_decl ds -> List.iter (fun (n, _) -> add n) ds
+    | Func_decl f -> Option.iter add f.fname
+    | If (_, a, b) ->
+      List.iter stmt a;
+      List.iter stmt b
+    | While (_, b) | Do_while (b, _) -> List.iter stmt b
+    | For (init, _, _, b) ->
+      Option.iter stmt init;
+      List.iter stmt b
+    | Block b -> List.iter stmt b
+    | Expr_stmt _ | Return _ | Break | Continue -> ()
+  in
+  List.iter stmt body;
+  !acc
+
+(* All identifiers referenced in a function, including inside nested
+   functions, minus names the nested functions bind themselves. *)
+let rec referenced_free (params : string list) (body : stmt list) =
+  let bound = declared_names params body in
+  let acc = ref StringSet.empty in
+  let use n = if not (StringSet.mem n bound) then acc := StringSet.add n !acc in
+  let rec expr = function
+    | Ident n -> use n
+    | Number _ | String _ | Bool _ | Null | Undefined | This -> ()
+    | Array_lit es -> List.iter expr es
+    | Object_lit fs -> List.iter (fun (_, e) -> expr e) fs
+    | Function_expr f ->
+      StringSet.iter use (referenced_free f.params f.body)
+    | Unary (_, e) -> expr e
+    | Binary (_, a, b) ->
+      expr a;
+      expr b
+    | Assign (t, e) ->
+      target t;
+      expr e
+    | Compound_assign (_, t, e) ->
+      target t;
+      expr e
+    | Update { target = t; _ } -> target t
+    | Conditional (c, a, b) ->
+      expr c;
+      expr a;
+      expr b
+    | Call (f, args) ->
+      expr f;
+      List.iter expr args
+    | Method_call (o, _, args) ->
+      expr o;
+      List.iter expr args
+    | New (f, args) ->
+      expr f;
+      List.iter expr args
+    | Member (o, _) -> expr o
+    | Index (o, i) ->
+      expr o;
+      expr i
+  and target = function
+    | T_ident n -> use n
+    | T_member (o, _) -> expr o
+    | T_index (o, i) ->
+      expr o;
+      expr i
+  in
+  let rec stmt = function
+    | Expr_stmt e -> expr e
+    | Var_decl ds -> List.iter (fun (_, init) -> Option.iter expr init) ds
+    | Func_decl f -> StringSet.iter use (referenced_free f.params f.body)
+    | Return e -> Option.iter expr e
+    | If (c, a, b) ->
+      expr c;
+      List.iter stmt a;
+      List.iter stmt b
+    | While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Do_while (b, c) ->
+      List.iter stmt b;
+      expr c
+    | For (init, cond, step, b) ->
+      Option.iter stmt init;
+      Option.iter expr cond;
+      Option.iter expr step;
+      List.iter stmt b
+    | Break | Continue -> ()
+    | Block b -> List.iter stmt b
+  in
+  List.iter stmt body;
+  !acc
+
+(* Locals of (params, body) captured by directly or indirectly nested
+   functions. *)
+let captured_locals (params : string list) (body : stmt list) =
+  let locals = declared_names params body in
+  let acc = ref StringSet.empty in
+  let note_child (f : func) =
+    let free = referenced_free f.params f.body in
+    acc := StringSet.union !acc (StringSet.inter free locals)
+  in
+  let rec expr = function
+    | Function_expr f -> note_child f
+    | Ident _ | Number _ | String _ | Bool _ | Null | Undefined | This -> ()
+    | Array_lit es -> List.iter expr es
+    | Object_lit fs -> List.iter (fun (_, e) -> expr e) fs
+    | Unary (_, e) -> expr e
+    | Binary (_, a, b) ->
+      expr a;
+      expr b
+    | Assign (t, e) ->
+      target t;
+      expr e
+    | Compound_assign (_, t, e) ->
+      target t;
+      expr e
+    | Update { target = t; _ } -> target t
+    | Conditional (c, a, b) ->
+      expr c;
+      expr a;
+      expr b
+    | Call (f, args) ->
+      expr f;
+      List.iter expr args
+    | Method_call (o, _, args) ->
+      expr o;
+      List.iter expr args
+    | New (f, args) ->
+      expr f;
+      List.iter expr args
+    | Member (o, _) -> expr o
+    | Index (o, i) ->
+      expr o;
+      expr i
+  and target = function
+    | T_ident _ -> ()
+    | T_member (o, _) -> expr o
+    | T_index (o, i) ->
+      expr o;
+      expr i
+  in
+  let rec stmt = function
+    | Expr_stmt e -> expr e
+    | Var_decl ds -> List.iter (fun (_, init) -> Option.iter expr init) ds
+    | Func_decl f -> note_child f
+    | Return e -> Option.iter expr e
+    | If (c, a, b) ->
+      expr c;
+      List.iter stmt a;
+      List.iter stmt b
+    | While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Do_while (b, c) ->
+      List.iter stmt b;
+      expr c
+    | For (init, cond, step, b) ->
+      Option.iter stmt init;
+      Option.iter expr cond;
+      Option.iter expr step;
+      List.iter stmt b
+    | Break | Continue -> ()
+    | Block b -> List.iter stmt b
+  in
+  List.iter stmt body;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Compilation state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type binding = B_local of int | B_context of int (* depth from use site *) * int
+
+type scope = {
+  bindings : (string, binding) Hashtbl.t;
+  has_context : bool;
+  parent : scope option;
+}
+
+type fn_state = {
+  mutable ops : Bytecode.op array;
+  mutable n_ops : int;
+  mutable consts : Bytecode.const list;  (* reversed *)
+  mutable n_consts : int;
+  const_index : (Bytecode.const, int) Hashtbl.t;
+  mutable next_reg : int;
+  mutable max_reg : int;
+  mutable next_fb : int;
+  scope : scope;
+  is_toplevel : bool;
+  mutable break_patches : int list list;   (* stack of patch lists *)
+  mutable continue_targets : int list;     (* stack; -1 = patch later *)
+  mutable continue_patches : int list list;
+}
+
+type unit_state = {
+  mutable funcs : Bytecode.func_info list;  (* reversed *)
+  mutable n_funcs : int;
+}
+
+let emit st op =
+  if st.n_ops >= Array.length st.ops then begin
+    let bigger = Array.make (max 32 (2 * Array.length st.ops)) Bytecode.Return in
+    Array.blit st.ops 0 bigger 0 st.n_ops;
+    st.ops <- bigger
+  end;
+  st.ops.(st.n_ops) <- op;
+  st.n_ops <- st.n_ops + 1;
+  st.n_ops - 1
+
+(* Emit a jump with a dummy target; returns position for patching. *)
+let emit_jump st mk = emit st (mk (-1))
+
+let here st = st.n_ops
+
+let patch st pos target =
+  match st.ops.(pos) with
+  | Bytecode.Jump _ -> st.ops.(pos) <- Bytecode.Jump target
+  | Bytecode.Jump_if_false _ -> st.ops.(pos) <- Bytecode.Jump_if_false target
+  | Bytecode.Jump_if_true _ -> st.ops.(pos) <- Bytecode.Jump_if_true target
+  | _ -> fail "patch: not a jump at %d" pos
+
+let const st c =
+  match Hashtbl.find_opt st.const_index c with
+  | Some i -> i
+  | None ->
+    st.consts <- c :: st.consts;
+    let i = st.n_consts in
+    st.n_consts <- st.n_consts + 1;
+    Hashtbl.replace st.const_index c i;
+    i
+
+let name_const st n = const st (Bytecode.C_str n)
+
+let fb st =
+  let i = st.next_fb in
+  st.next_fb <- st.next_fb + 1;
+  i
+
+let alloc_temp st =
+  let r = st.next_reg in
+  st.next_reg <- st.next_reg + 1;
+  if st.next_reg > st.max_reg then st.max_reg <- st.next_reg;
+  r
+
+let save_temps st = st.next_reg
+let restore_temps st mark = st.next_reg <- mark
+
+(* Resolve a name against the scope chain.  [depth_acc] counts the
+   context hops crossed before reaching the binding's scope: the current
+   function's own context (if any) counts when the binding is in an
+   enclosing scope, because the runtime walks parent pointers from the
+   innermost context. *)
+let lookup st name =
+  let rec go scope ~first ~depth_acc =
+    match Hashtbl.find_opt scope.bindings name with
+    | Some (B_local r) when first -> Some (B_local r)
+    | Some (B_local _) ->
+      (* A register of an enclosing function is not addressable; the
+         capture analysis should have promoted it to a context slot. *)
+      fail "internal: captured local %s not context-allocated" name
+    | Some (B_context (_, slot)) -> Some (B_context (depth_acc, slot))
+    | None ->
+      (match scope.parent with
+      | None -> None
+      | Some p ->
+        let depth_acc = if scope.has_context then depth_acc + 1 else depth_acc in
+        go p ~first:false ~depth_acc)
+  in
+  go st.scope ~first:true ~depth_acc:0
+
+(* ------------------------------------------------------------------ *)
+(* Expression / statement compilation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_function (u : unit_state) ~name ~(params : string list)
+    ~(body : stmt list) ~(parent_scope : scope option) ~is_toplevel :
+    Bytecode.func_info =
+  let fid = u.n_funcs in
+  u.n_funcs <- u.n_funcs + 1;
+  (* Reserve the slot so nested functions get later ids. *)
+  let placeholder : Bytecode.func_info =
+    {
+      fid;
+      name;
+      n_params = List.length params;
+      n_regs = 0;
+      code = [||];
+      consts = [||];
+      n_feedback = 0;
+      context_slots = 0;
+      source = { fname = Some name; params; body };
+    }
+  in
+  u.funcs <- placeholder :: u.funcs;
+
+  let captured = if is_toplevel then StringSet.empty else captured_locals params body in
+  let has_context = not (StringSet.is_empty captured) in
+  let scope =
+    { bindings = Hashtbl.create 16; has_context; parent = parent_scope }
+  in
+  let st =
+    {
+      ops = [||];
+      n_ops = 0;
+      consts = [];
+      n_consts = 0;
+      const_index = Hashtbl.create 16;
+      next_reg = 0;
+      max_reg = 0;
+      next_fb = 0;
+      scope;
+      is_toplevel;
+      break_patches = [];
+      continue_targets = [];
+      continue_patches = [];
+    }
+  in
+  (* Register layout: r0 = this, r1..rn = params, then locals, temps. *)
+  st.next_reg <- 1 + List.length params;
+  st.max_reg <- st.next_reg;
+  let ctx_slot = ref 0 in
+  let bind_name n default_reg =
+    if StringSet.mem n captured then begin
+      let slot = !ctx_slot in
+      incr ctx_slot;
+      Hashtbl.replace scope.bindings n (B_context (0, slot));
+      slot
+    end
+    else begin
+      Hashtbl.replace scope.bindings n (B_local default_reg);
+      -1
+    end
+  in
+  if not is_toplevel then begin
+    (* Params. *)
+    List.iteri
+      (fun i p ->
+        let slot = bind_name p (Bytecode.param_reg i) in
+        if slot >= 0 then begin
+          (* Copy captured param into its context slot at entry. *)
+          ignore (emit st (Bytecode.Ldar (Bytecode.param_reg i)));
+          ignore (emit st (Bytecode.Sta_context (0, slot)))
+        end)
+      params;
+    (* Hoisted vars and function declarations become locals. *)
+    let decls = declared_names [] body in
+    StringSet.iter
+      (fun n ->
+        if not (List.mem n params) then begin
+          let r = st.next_reg in
+          let slot = bind_name n r in
+          if slot < 0 then begin
+            st.next_reg <- st.next_reg + 1;
+            if st.next_reg > st.max_reg then st.max_reg <- st.next_reg
+          end
+        end)
+      decls
+  end;
+  (* Hoist function declarations (compile and bind before the body). *)
+  List.iter
+    (fun s ->
+      match s with
+      | Func_decl f ->
+        let fname = Option.get f.fname in
+        let child =
+          compile_function u ~name:fname ~params:f.params ~body:f.body
+            ~parent_scope:(Some scope) ~is_toplevel:false
+        in
+        ignore (emit st (Bytecode.Create_closure child.Bytecode.fid));
+        store_ident st fname
+      | _ -> ())
+    body;
+  List.iter (fun s -> compile_stmt u st s) body;
+  ignore (emit st Bytecode.Lda_undefined);
+  ignore (emit st Bytecode.Return);
+  placeholder.Bytecode.n_regs <- st.max_reg;
+  placeholder.Bytecode.code <- Array.sub st.ops 0 st.n_ops;
+  placeholder.Bytecode.consts <- Array.of_list (List.rev st.consts);
+  placeholder.Bytecode.n_feedback <- st.next_fb;
+  placeholder.Bytecode.context_slots <- !ctx_slot;
+  placeholder
+
+and store_ident st name =
+  (* Store accumulator into a name. *)
+  if st.is_toplevel then ignore (emit st (Bytecode.Sta_global (name_const st name)))
+  else begin
+    match lookup st name with
+    | Some (B_local r) -> ignore (emit st (Bytecode.Star r))
+    | Some (B_context (d, s)) -> ignore (emit st (Bytecode.Sta_context (d, s)))
+    | None -> ignore (emit st (Bytecode.Sta_global (name_const st name)))
+  end
+
+and load_ident st name =
+  if st.is_toplevel then ignore (emit st (Bytecode.Lda_global (name_const st name)))
+  else begin
+    match lookup st name with
+    | Some (B_local r) -> ignore (emit st (Bytecode.Ldar r))
+    | Some (B_context (d, s)) -> ignore (emit st (Bytecode.Lda_context (d, s)))
+    | None -> ignore (emit st (Bytecode.Lda_global (name_const st name)))
+  end
+
+and compile_expr u st (e : expr) : unit =
+  match e with
+  | Number f ->
+    if Float.is_integer f && Float.abs f <= 1073741823.0 then begin
+      let n = int_of_float f in
+      if n = 0 then ignore (emit st Bytecode.Lda_zero)
+      else ignore (emit st (Bytecode.Lda_smi n))
+    end
+    else ignore (emit st (Bytecode.Lda_const (const st (Bytecode.C_num f))))
+  | String s -> ignore (emit st (Bytecode.Lda_const (const st (Bytecode.C_str s))))
+  | Bool true -> ignore (emit st Bytecode.Lda_true)
+  | Bool false -> ignore (emit st Bytecode.Lda_false)
+  | Null -> ignore (emit st Bytecode.Lda_null)
+  | Undefined -> ignore (emit st Bytecode.Lda_undefined)
+  | Ident n -> load_ident st n
+  | This -> ignore (emit st (Bytecode.Ldar Bytecode.this_reg))
+  | Array_lit es ->
+    let mark = save_temps st in
+    let arr = alloc_temp st in
+    ignore (emit st (Bytecode.Create_array (List.length es)));
+    ignore (emit st (Bytecode.Star arr));
+    let key = alloc_temp st in
+    List.iteri
+      (fun i el ->
+        ignore (emit st (Bytecode.Lda_smi i));
+        ignore (emit st (Bytecode.Star key));
+        compile_expr u st el;
+        ignore (emit st (Bytecode.Set_keyed (arr, key, fb st))))
+      es;
+    ignore (emit st (Bytecode.Ldar arr));
+    restore_temps st mark
+  | Object_lit fields ->
+    let mark = save_temps st in
+    let obj = alloc_temp st in
+    ignore (emit st Bytecode.Create_object);
+    ignore (emit st (Bytecode.Star obj));
+    List.iter
+      (fun (k, v) ->
+        compile_expr u st v;
+        ignore (emit st (Bytecode.Set_named (obj, name_const st k, fb st))))
+      fields;
+    ignore (emit st (Bytecode.Ldar obj));
+    restore_temps st mark
+  | Function_expr f ->
+    let child =
+      compile_function u
+        ~name:(Option.value ~default:"<anonymous>" f.fname)
+        ~params:f.params ~body:f.body ~parent_scope:(Some st.scope)
+        ~is_toplevel:false
+    in
+    ignore (emit st (Bytecode.Create_closure child.Bytecode.fid))
+  | Unary (op, e) -> (
+    compile_expr u st e;
+    match op with
+    | Neg -> ignore (emit st (Bytecode.Neg_acc (fb st)))
+    | Plus -> () (* ToNumber: our subset only applies + to numbers *)
+    | Not -> ignore (emit st Bytecode.Not_acc)
+    | Bit_not -> ignore (emit st (Bytecode.Bitnot_acc (fb st)))
+    | Typeof -> ignore (emit st Bytecode.Typeof_acc))
+  | Binary (Logical_and, a, b) ->
+    compile_expr u st a;
+    let j = emit_jump st (fun t -> Bytecode.Jump_if_false t) in
+    compile_expr u st b;
+    patch st j (here st)
+  | Binary (Logical_or, a, b) ->
+    compile_expr u st a;
+    let j = emit_jump st (fun t -> Bytecode.Jump_if_true t) in
+    compile_expr u st b;
+    patch st j (here st)
+  | Binary (op, a, b) ->
+    let mark = save_temps st in
+    let lhs = alloc_temp st in
+    compile_expr u st a;
+    ignore (emit st (Bytecode.Star lhs));
+    compile_expr u st b;
+    (match op with
+    | Lt | Le | Gt | Ge | Eq | Neq | Strict_eq | Strict_neq ->
+      ignore (emit st (Bytecode.Test (op, lhs, fb st)))
+    | _ -> ignore (emit st (Bytecode.Binop (op, lhs, fb st))));
+    restore_temps st mark
+  | Assign (t, e) -> compile_assign u st t (fun () -> compile_expr u st e)
+  | Compound_assign (op, t, e) ->
+    compile_read_modify u st t (fun old_reg ->
+        compile_expr u st e;
+        ignore (emit st (Bytecode.Binop (op, old_reg, fb st))))
+  | Update { op_add; prefix; target = t } ->
+    let op = if op_add then Add else Sub in
+    if prefix then
+      compile_read_modify u st t (fun old_reg ->
+          ignore (emit st (Bytecode.Lda_smi 1));
+          ignore (emit st (Bytecode.Binop (op, old_reg, fb st))))
+    else begin
+      (* Postfix: result is the old value. *)
+      let mark = save_temps st in
+      let old_v = alloc_temp st in
+      compile_read_modify u st t (fun old_reg ->
+          ignore (emit st (Bytecode.Ldar old_reg));
+          ignore (emit st (Bytecode.Star old_v));
+          ignore (emit st (Bytecode.Lda_smi 1));
+          ignore (emit st (Bytecode.Binop (op, old_reg, fb st))));
+      ignore (emit st (Bytecode.Ldar old_v));
+      restore_temps st mark
+    end
+  | Conditional (c, a, b) ->
+    compile_expr u st c;
+    let jf = emit_jump st (fun t -> Bytecode.Jump_if_false t) in
+    compile_expr u st a;
+    let jend = emit_jump st (fun t -> Bytecode.Jump t) in
+    patch st jf (here st);
+    compile_expr u st b;
+    patch st jend (here st)
+  | Call (Member (o, m), args) | Method_call (o, m, args) ->
+    let mark = save_temps st in
+    let recv = alloc_temp st in
+    compile_expr u st o;
+    ignore (emit st (Bytecode.Star recv));
+    let first = compile_args u st args in
+    (* Two feedback slots: method load, then call target. *)
+    let load_slot = fb st in
+    ignore (fb st);
+    ignore
+      (emit st
+         (Bytecode.Call_method (recv, name_const st m, first, List.length args, load_slot)));
+    restore_temps st mark
+  | Call (f, args) ->
+    let mark = save_temps st in
+    let callee = alloc_temp st in
+    compile_expr u st f;
+    ignore (emit st (Bytecode.Star callee));
+    let first = compile_args u st args in
+    ignore (emit st (Bytecode.Call (callee, first, List.length args, fb st)));
+    restore_temps st mark
+  | New (f, args) ->
+    let mark = save_temps st in
+    let callee = alloc_temp st in
+    compile_expr u st f;
+    ignore (emit st (Bytecode.Star callee));
+    let first = compile_args u st args in
+    ignore (emit st (Bytecode.Construct (callee, first, List.length args, fb st)));
+    restore_temps st mark
+  | Member (o, f) ->
+    let mark = save_temps st in
+    let obj = alloc_temp st in
+    compile_expr u st o;
+    ignore (emit st (Bytecode.Star obj));
+    ignore (emit st (Bytecode.Get_named (obj, name_const st f, fb st)));
+    restore_temps st mark
+  | Index (o, i) ->
+    let mark = save_temps st in
+    let obj = alloc_temp st in
+    compile_expr u st o;
+    ignore (emit st (Bytecode.Star obj));
+    compile_expr u st i;
+    ignore (emit st (Bytecode.Get_keyed (obj, fb st)));
+    restore_temps st mark
+
+(* Evaluate args into consecutive temps; returns the first register (or
+   0 when there are no arguments). *)
+and compile_args u st args =
+  match args with
+  | [] -> 0
+  | _ ->
+    let regs = List.map (fun _ -> alloc_temp st) args in
+    (* Temps from alloc_temp are consecutive. *)
+    List.iter2
+      (fun a r ->
+        compile_expr u st a;
+        ignore (emit st (Bytecode.Star r)))
+      args regs;
+    List.hd regs
+
+and compile_assign u st t rhs =
+  match t with
+  | T_ident n ->
+    rhs ();
+    store_ident st n
+  | T_member (o, f) ->
+    let mark = save_temps st in
+    let obj = alloc_temp st in
+    compile_expr u st o;
+    ignore (emit st (Bytecode.Star obj));
+    rhs ();
+    ignore (emit st (Bytecode.Set_named (obj, name_const st f, fb st)));
+    restore_temps st mark
+  | T_index (o, i) ->
+    let mark = save_temps st in
+    let obj = alloc_temp st in
+    let key = alloc_temp st in
+    compile_expr u st o;
+    ignore (emit st (Bytecode.Star obj));
+    compile_expr u st i;
+    ignore (emit st (Bytecode.Star key));
+    rhs ();
+    ignore (emit st (Bytecode.Set_keyed (obj, key, fb st)));
+    restore_temps st mark
+
+(* Read target into a temp, run [modify old_reg] (which must leave the
+   new value in acc), then write back.  Used by compound assignment and
+   update expressions. *)
+and compile_read_modify u st t modify =
+  match t with
+  | T_ident n ->
+    let mark = save_temps st in
+    let old_v = alloc_temp st in
+    load_ident st n;
+    ignore (emit st (Bytecode.Star old_v));
+    modify old_v;
+    store_ident st n;
+    restore_temps st mark
+  | T_member (o, f) ->
+    let mark = save_temps st in
+    let obj = alloc_temp st in
+    let old_v = alloc_temp st in
+    compile_expr u st o;
+    ignore (emit st (Bytecode.Star obj));
+    ignore (emit st (Bytecode.Get_named (obj, name_const st f, fb st)));
+    ignore (emit st (Bytecode.Star old_v));
+    modify old_v;
+    ignore (emit st (Bytecode.Set_named (obj, name_const st f, fb st)));
+    restore_temps st mark
+  | T_index (o, i) ->
+    let mark = save_temps st in
+    let obj = alloc_temp st in
+    let key = alloc_temp st in
+    let old_v = alloc_temp st in
+    compile_expr u st o;
+    ignore (emit st (Bytecode.Star obj));
+    compile_expr u st i;
+    ignore (emit st (Bytecode.Star key));
+    ignore (emit st (Bytecode.Ldar key));
+    ignore (emit st (Bytecode.Get_keyed (obj, fb st)));
+    ignore (emit st (Bytecode.Star old_v));
+    modify old_v;
+    ignore (emit st (Bytecode.Set_keyed (obj, key, fb st)));
+    restore_temps st mark
+
+and compile_stmt u st (s : stmt) : unit =
+  match s with
+  | Expr_stmt e -> compile_expr u st e
+  | Var_decl ds ->
+    List.iter
+      (fun (n, init) ->
+        match init with
+        | None -> ()
+        | Some e ->
+          compile_expr u st e;
+          store_ident st n)
+      ds
+  | Func_decl _ -> () (* hoisted in compile_function *)
+  | Return None ->
+    ignore (emit st Bytecode.Lda_undefined);
+    ignore (emit st Bytecode.Return)
+  | Return (Some e) ->
+    compile_expr u st e;
+    ignore (emit st Bytecode.Return)
+  | If (c, a, b) ->
+    compile_expr u st c;
+    let jf = emit_jump st (fun t -> Bytecode.Jump_if_false t) in
+    List.iter (compile_stmt u st) a;
+    if b = [] then patch st jf (here st)
+    else begin
+      let jend = emit_jump st (fun t -> Bytecode.Jump t) in
+      patch st jf (here st);
+      List.iter (compile_stmt u st) b;
+      patch st jend (here st)
+    end
+  | While (c, body) ->
+    let top = here st in
+    compile_expr u st c;
+    let jexit = emit_jump st (fun t -> Bytecode.Jump_if_false t) in
+    enter_loop st;
+    List.iter (compile_stmt u st) body;
+    ignore (emit st (Bytecode.Jump top));
+    patch st jexit (here st);
+    exit_loop st ~break_target:(here st) ~continue_target:top
+  | Do_while (body, c) ->
+    let top = here st in
+    enter_loop st;
+    List.iter (compile_stmt u st) body;
+    let cont = here st in
+    compile_expr u st c;
+    let jloop = emit_jump st (fun t -> Bytecode.Jump_if_true t) in
+    patch st jloop top;
+    exit_loop st ~break_target:(here st) ~continue_target:cont
+  | For (init, cond, step, body) ->
+    Option.iter (compile_stmt u st) init;
+    let top = here st in
+    let jexit =
+      match cond with
+      | None -> None
+      | Some c ->
+        compile_expr u st c;
+        Some (emit_jump st (fun t -> Bytecode.Jump_if_false t))
+    in
+    enter_loop st;
+    List.iter (compile_stmt u st) body;
+    let cont = here st in
+    Option.iter (fun e -> compile_expr u st e) step;
+    ignore (emit st (Bytecode.Jump top));
+    Option.iter (fun j -> patch st j (here st)) jexit;
+    exit_loop st ~break_target:(here st) ~continue_target:cont
+  | Break -> (
+    match st.break_patches with
+    | _ :: _ ->
+      let j = emit_jump st (fun t -> Bytecode.Jump t) in
+      st.break_patches <-
+        (j :: List.hd st.break_patches) :: List.tl st.break_patches
+    | [] -> fail "break outside loop")
+  | Continue -> (
+    match st.continue_patches with
+    | _ :: _ ->
+      let j = emit_jump st (fun t -> Bytecode.Jump t) in
+      st.continue_patches <-
+        (j :: List.hd st.continue_patches) :: List.tl st.continue_patches
+    | [] -> fail "continue outside loop")
+  | Block body -> List.iter (compile_stmt u st) body
+
+and enter_loop st =
+  st.break_patches <- [] :: st.break_patches;
+  st.continue_patches <- [] :: st.continue_patches
+
+and exit_loop st ~break_target ~continue_target =
+  (match st.break_patches with
+  | ps :: rest ->
+    List.iter (fun p -> patch st p break_target) ps;
+    st.break_patches <- rest
+  | [] -> fail "internal: loop stack underflow");
+  match st.continue_patches with
+  | ps :: rest ->
+    List.iter (fun p -> patch st p continue_target) ps;
+    st.continue_patches <- rest
+  | [] -> fail "internal: loop stack underflow"
+
+let compile_program (prog : Ast.program) =
+  let u = { funcs = []; n_funcs = 0 } in
+  let main =
+    compile_function u ~name:"<main>" ~params:[] ~body:prog ~parent_scope:None
+      ~is_toplevel:true
+  in
+  let arr = Array.of_list (List.rev u.funcs) in
+  Array.sort (fun a b -> compare a.Bytecode.fid b.Bytecode.fid) arr;
+  { functions = arr; main = main.Bytecode.fid }
+
+let compile src = compile_program (Parser.parse src)

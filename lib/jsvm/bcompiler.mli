@@ -1,0 +1,17 @@
+(** Bytecode compiler: AST to Ignition-style bytecode.
+
+    Performs var/function hoisting, resolves identifiers to parameter or
+    local registers, context slots (for locals captured by nested
+    closures), or global property cells, and allocates one feedback slot
+    per speculation site. *)
+
+type unit_ = {
+  functions : Bytecode.func_info array;  (** index = function id *)
+  main : int;                            (** fid of the top-level script *)
+}
+
+exception Compile_error of string
+
+val compile_program : Ast.program -> unit_
+val compile : string -> unit_
+(** Parse + compile source text. *)

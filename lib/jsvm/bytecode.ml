@@ -1,0 +1,150 @@
+type op =
+  | Lda_zero
+  | Lda_smi of int
+  | Lda_const of int
+  | Lda_undefined
+  | Lda_null
+  | Lda_true
+  | Lda_false
+  | Ldar of int
+  | Star of int
+  | Mov of int * int
+  | Lda_global of int
+  | Sta_global of int
+  | Lda_context of int * int
+  | Sta_context of int * int
+  | Binop of Ast.binop * int * int
+  | Test of Ast.binop * int * int
+  | Neg_acc of int
+  | Bitnot_acc of int
+  | Not_acc
+  | Typeof_acc
+  | Jump of int
+  | Jump_if_false of int
+  | Jump_if_true of int
+  | Get_named of int * int * int
+  | Set_named of int * int * int
+  | Get_keyed of int * int
+  | Set_keyed of int * int * int
+  | Create_array of int
+  | Create_object
+  | Create_closure of int
+  | Call of int * int * int * int
+  | Call_method of int * int * int * int * int
+  | Construct of int * int * int * int
+  | Return
+
+type const = C_num of float | C_str of string
+
+type func_info = {
+  fid : int;
+  name : string;
+  n_params : int;
+  mutable n_regs : int;
+  mutable code : op array;
+  mutable consts : const array;
+  mutable n_feedback : int;
+  mutable context_slots : int;
+  source : Ast.func;
+}
+
+let this_reg = 0
+let param_reg i = 1 + i
+
+let const_str f i =
+  match f.consts.(i) with
+  | C_num v -> Printf.sprintf "%g" v
+  | C_str s -> Printf.sprintf "%S" s
+
+let op_to_string f = function
+  | Lda_zero -> "LdaZero"
+  | Lda_smi n -> Printf.sprintf "LdaSmi [%d]" n
+  | Lda_const i -> Printf.sprintf "LdaConstant %s" (const_str f i)
+  | Lda_undefined -> "LdaUndefined"
+  | Lda_null -> "LdaNull"
+  | Lda_true -> "LdaTrue"
+  | Lda_false -> "LdaFalse"
+  | Ldar r -> Printf.sprintf "Ldar r%d" r
+  | Star r -> Printf.sprintf "Star r%d" r
+  | Mov (d, s) -> Printf.sprintf "Mov r%d, r%d" d s
+  | Lda_global i -> Printf.sprintf "LdaGlobal %s" (const_str f i)
+  | Sta_global i -> Printf.sprintf "StaGlobal %s" (const_str f i)
+  | Lda_context (d, s) -> Printf.sprintf "LdaContextSlot depth=%d slot=%d" d s
+  | Sta_context (d, s) -> Printf.sprintf "StaContextSlot depth=%d slot=%d" d s
+  | Binop (op, r, fb) ->
+    Printf.sprintf "%s r%d, [%d]" (Ast.binop_str op) r fb
+  | Test (op, r, fb) ->
+    Printf.sprintf "Test%s r%d, [%d]" (Ast.binop_str op) r fb
+  | Neg_acc fb -> Printf.sprintf "Negate [%d]" fb
+  | Bitnot_acc fb -> Printf.sprintf "BitwiseNot [%d]" fb
+  | Not_acc -> "LogicalNot"
+  | Typeof_acc -> "TypeOf"
+  | Jump t -> Printf.sprintf "Jump @%d" t
+  | Jump_if_false t -> Printf.sprintf "JumpIfFalse @%d" t
+  | Jump_if_true t -> Printf.sprintf "JumpIfTrue @%d" t
+  | Get_named (r, c, fb) ->
+    Printf.sprintf "GetNamedProperty r%d, %s, [%d]" r (const_str f c) fb
+  | Set_named (r, c, fb) ->
+    Printf.sprintf "SetNamedProperty r%d, %s, [%d]" r (const_str f c) fb
+  | Get_keyed (r, fb) -> Printf.sprintf "GetKeyedProperty r%d, [%d]" r fb
+  | Set_keyed (r, k, fb) -> Printf.sprintf "SetKeyedProperty r%d, r%d, [%d]" r k fb
+  | Create_array cap -> Printf.sprintf "CreateArrayLiteral cap=%d" cap
+  | Create_object -> "CreateObjectLiteral"
+  | Create_closure fid -> Printf.sprintf "CreateClosure f%d" fid
+  | Call (c, a, n, fb) -> Printf.sprintf "CallAnyReceiver r%d, r%d-r%d, [%d]" c a (a + n - 1) fb
+  | Call_method (o, m, a, n, fb) ->
+    Printf.sprintf "CallProperty r%d.%s, r%d-r%d, [%d]" o (const_str f m) a (a + n - 1) fb
+  | Construct (c, a, n, fb) ->
+    Printf.sprintf "Construct r%d, r%d-r%d, [%d]" c a (a + n - 1) fb
+  | Return -> "Return"
+
+let disassemble f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf ";; function %s: %d params, %d regs, %d feedback slots\n"
+       f.name f.n_params f.n_regs f.n_feedback);
+  Array.iteri
+    (fun i op ->
+      Buffer.add_string buf (Printf.sprintf "%4d: %s\n" i (op_to_string f op)))
+    f.code;
+  Buffer.contents buf
+
+(* Rough Ignition handler costs in cycles, dominated by dispatch and
+   (for ICs) the feedback-vector lookup. *)
+let interp_cost = function
+  | Lda_zero | Lda_smi _ | Lda_undefined | Lda_null | Lda_true | Lda_false -> 6
+  | Lda_const _ | Ldar _ | Star _ | Mov (_, _) -> 6
+  | Lda_global _ | Sta_global _ -> 12
+  | Lda_context _ | Sta_context _ -> 10
+  | Binop _ -> 18
+  | Test _ -> 16
+  | Neg_acc _ | Bitnot_acc _ | Not_acc | Typeof_acc -> 10
+  | Jump _ | Jump_if_false _ | Jump_if_true _ -> 8
+  | Get_named _ -> 26
+  | Set_named _ -> 30
+  | Get_keyed _ -> 24
+  | Set_keyed _ -> 28
+  | Create_array _ | Create_object -> 40
+  | Create_closure _ -> 30
+  | Call _ | Call_method _ | Construct _ -> 40
+  | Return -> 10
+
+let is_feedback_site = function
+  | Binop (_, _, fb)
+  | Test (_, _, fb)
+  | Neg_acc fb
+  | Bitnot_acc fb
+  | Get_named (_, _, fb)
+  | Set_named (_, _, fb)
+  | Get_keyed (_, fb)
+  | Set_keyed (_, _, fb)
+  | Call (_, _, _, fb)
+  | Call_method (_, _, _, _, fb)
+  | Construct (_, _, _, fb) ->
+    Some fb
+  | Lda_zero | Lda_smi _ | Lda_const _ | Lda_undefined | Lda_null | Lda_true
+  | Lda_false | Ldar _ | Star _ | Mov _ | Lda_global _ | Sta_global _
+  | Lda_context _ | Sta_context _ | Not_acc | Typeof_acc | Jump _
+  | Jump_if_false _ | Jump_if_true _ | Create_array _ | Create_object
+  | Create_closure _ | Return ->
+    None

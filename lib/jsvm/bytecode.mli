@@ -1,0 +1,71 @@
+(** Ignition-style register/accumulator bytecode.
+
+    Binary and compare operations follow V8's convention: the left
+    operand is in a register, the right operand and the result in the
+    accumulator.  Sites that benefit from type feedback carry a feedback
+    slot index into the function's {!Feedback.vector}. *)
+
+type op =
+  | Lda_zero
+  | Lda_smi of int
+  | Lda_const of int                   (** constant-pool index *)
+  | Lda_undefined
+  | Lda_null
+  | Lda_true
+  | Lda_false
+  | Ldar of int                        (** acc <- reg *)
+  | Star of int                        (** reg <- acc *)
+  | Mov of int * int                   (** dst <- src *)
+  | Lda_global of int                  (** name constant index *)
+  | Sta_global of int
+  | Lda_context of int * int           (** depth, slot *)
+  | Sta_context of int * int
+  | Binop of Ast.binop * int * int     (** op, lhs reg, feedback slot *)
+  | Test of Ast.binop * int * int      (** comparison; lhs reg, feedback slot *)
+  | Neg_acc of int                     (** feedback slot *)
+  | Bitnot_acc of int
+  | Not_acc
+  | Typeof_acc
+  | Jump of int                        (** absolute bytecode index *)
+  | Jump_if_false of int
+  | Jump_if_true of int
+  | Get_named of int * int * int       (** obj reg, name const, feedback slot *)
+  | Set_named of int * int * int
+  | Get_keyed of int * int             (** obj reg (key in acc), feedback slot *)
+  | Set_keyed of int * int * int       (** obj reg, key reg (value in acc), fb *)
+  | Create_array of int                (** capacity hint *)
+  | Create_object
+  | Create_closure of int              (** function id *)
+  | Call of int * int * int * int      (** callee reg, first arg reg, argc, fb *)
+  | Call_method of int * int * int * int * int
+      (** receiver reg, name const, first arg reg, argc, fb *)
+  | Construct of int * int * int * int (** callee reg, first arg reg, argc, fb *)
+  | Return
+
+type const = C_num of float | C_str of string
+
+type func_info = {
+  fid : int;
+  name : string;
+  n_params : int;
+  mutable n_regs : int;        (** includes this (r0) and params *)
+  mutable code : op array;
+  mutable consts : const array;
+  mutable n_feedback : int;
+  mutable context_slots : int; (** locals captured by inner closures *)
+  source : Ast.func;
+}
+
+val this_reg : int (* = 0 *)
+val param_reg : int -> int
+(** Register of the i-th parameter (0-based) = 1 + i. *)
+
+val op_to_string : func_info -> op -> string
+val disassemble : func_info -> string
+
+val interp_cost : op -> int
+(** Approximate interpreter cycles per bytecode (dispatch + handler);
+    used by the engine's interpreter cost model. *)
+
+val is_feedback_site : op -> int option
+(** The feedback slot the op consumes, if any. *)

@@ -1,0 +1,135 @@
+let to_boolean h v =
+  if Value.is_smi v then Value.smi_value v <> 0
+  else begin
+    match Heap.is_truthy_oddball h v with
+    | Some b -> b
+    | None -> (
+      match Heap.instance_type_of h v with
+      | Heap.It_oddball -> false (* undefined, null, hole *)
+      | Heap.It_heap_number ->
+        let f = Heap.heap_number_value h v in
+        f <> 0.0 && not (Float.is_nan f)
+      | Heap.It_string -> Heap.string_length h v > 0
+      | _ -> true)
+  end
+
+let parse_number s =
+  let s = String.trim s in
+  if s = "" then 0.0
+  else begin
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> (
+      (* Hex literals. *)
+      match int_of_string_opt s with
+      | Some i -> float_of_int i
+      | None -> Float.nan)
+  end
+
+let to_number h v =
+  if Value.is_smi v then float_of_int (Value.smi_value v)
+  else if v = Heap.true_value h then 1.0
+  else if v = Heap.false_value h then 0.0
+  else if v = Heap.null_value h then 0.0
+  else begin
+    match Heap.instance_type_of h v with
+    | Heap.It_heap_number -> Heap.heap_number_value h v
+    | Heap.It_string -> parse_number (Heap.string_value h v)
+    | _ -> Float.nan
+  end
+
+let number_to_string f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "Infinity"
+  else if f = Float.neg_infinity then "-Infinity"
+  else if Float.is_integer f && Float.abs f < 1e21 then
+    Printf.sprintf "%.0f" f
+  else begin
+    (* Shortest representation that round-trips at %.12g precision. *)
+    let s = Printf.sprintf "%.12g" f in
+    s
+  end
+
+let rec to_js_string h v =
+  if Value.is_smi v then string_of_int (Value.smi_value v)
+  else if v = Heap.undefined h then "undefined"
+  else if v = Heap.null_value h then "null"
+  else if v = Heap.true_value h then "true"
+  else if v = Heap.false_value h then "false"
+  else begin
+    match Heap.instance_type_of h v with
+    | Heap.It_heap_number -> number_to_string (Heap.heap_number_value h v)
+    | Heap.It_string -> Heap.string_value h v
+    | Heap.It_array ->
+      let n = Heap.array_length h v in
+      let buf = Buffer.create (n * 4) in
+      for i = 0 to n - 1 do
+        if i > 0 then Buffer.add_char buf ',';
+        let e = Heap.array_get h v i in
+        if e <> Heap.undefined h && e <> Heap.null_value h then
+          Buffer.add_string buf (to_js_string h e)
+      done;
+      Buffer.contents buf
+    | Heap.It_function -> "function"
+    | _ -> "[object Object]"
+  end
+
+let typeof_string h v =
+  if Value.is_smi v then "number"
+  else if v = Heap.undefined h then "undefined"
+  else if v = Heap.null_value h then "object"
+  else if v = Heap.true_value h || v = Heap.false_value h then "boolean"
+  else begin
+    match Heap.instance_type_of h v with
+    | Heap.It_heap_number -> "number"
+    | Heap.It_string -> "string"
+    | Heap.It_function -> "function"
+    | _ -> "object"
+  end
+
+let string_equal h a b =
+  a = b
+  ||
+  (Heap.string_length h a = Heap.string_length h b
+  &&
+  let n = Heap.string_length h a in
+  let rec go i =
+    i >= n || (Heap.string_char_code h a i = Heap.string_char_code h b i && go (i + 1))
+  in
+  go 0)
+
+let strict_equal h a b =
+  if a = b then
+    (* Same SMI or same pointer; NaN heap numbers are still physically
+       equal pointers, which JS would call unequal. *)
+    not
+      (Value.is_pointer a
+      && Heap.instance_type_of h a = Heap.It_heap_number
+      && Float.is_nan (Heap.heap_number_value h a))
+  else if Value.is_smi a || Value.is_smi b then
+    (* SMI vs heap number. *)
+    Heap.is_number h a && Heap.is_number h b
+    && Heap.number_value h a = Heap.number_value h b
+  else begin
+    match (Heap.instance_type_of h a, Heap.instance_type_of h b) with
+    | Heap.It_heap_number, Heap.It_heap_number ->
+      Heap.heap_number_value h a = Heap.heap_number_value h b
+    | Heap.It_string, Heap.It_string -> string_equal h a b
+    | _ -> false
+  end
+
+let loose_equal h a b =
+  if strict_equal h a b then true
+  else begin
+    let u = Heap.undefined h and n = Heap.null_value h in
+    if (a = u && b = n) || (a = n && b = u) then true
+    else begin
+      let num_a = Heap.is_number h a and num_b = Heap.is_number h b in
+      let str_a = Heap.is_string h a and str_b = Heap.is_string h b in
+      let bool_a = a = Heap.true_value h || a = Heap.false_value h in
+      let bool_b = b = Heap.true_value h || b = Heap.false_value h in
+      if (num_a && str_b) || (str_a && num_b) || bool_a || bool_b then
+        to_number h a = to_number h b
+      else false
+    end
+  end

@@ -1,0 +1,16 @@
+(** ECMAScript abstract-operation subset: coercions and comparisons
+    shared by the interpreter and the builtins. *)
+
+val to_boolean : Heap.t -> int -> bool
+val to_number : Heap.t -> int -> float
+(** undefined -> NaN, null -> 0, booleans -> 0/1, strings parsed
+    (empty string -> 0), objects -> NaN (no valueOf in the subset). *)
+
+val number_to_string : float -> string
+val to_js_string : Heap.t -> int -> string
+(** Arrays join with ","; plain objects render "[object Object]". *)
+
+val typeof_string : Heap.t -> int -> string
+val string_equal : Heap.t -> int -> int -> bool
+val strict_equal : Heap.t -> int -> int -> bool
+val loose_equal : Heap.t -> int -> int -> bool

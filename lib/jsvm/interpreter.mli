@@ -1,0 +1,36 @@
+(** The bytecode interpreter (Ignition stand-in).
+
+    Executes bytecode over the tagged-word heap while recording type
+    feedback, and charges an approximate per-handler cycle cost through
+    [Runtime.charge_interp].  Functions whose [code_ref] is set are
+    dispatched to the engine's optimized code instead; when that code
+    deoptimizes, the engine rebuilds an interpreter frame and continues
+    through {!resume}. *)
+
+val attach : Runtime.t -> unit
+(** Install [reenter_js] so builtins can call back into JS. *)
+
+val run_main : Runtime.t -> int
+(** Execute the top-level script; returns its completion value. *)
+
+val call_closure : Runtime.t -> closure:int -> this:int -> args:int array -> int
+(** Call a function object: dispatches to a builtin, optimized code, or
+    the interpreter; bumps invocation counts and fires the tier-up
+    hook. *)
+
+val call_function_value : Runtime.t -> int -> int array -> int
+(** Convenience: call with [this = undefined]. *)
+
+val interpret_direct :
+  Runtime.t -> Runtime.func_rt -> closure:int -> this:int ->
+  args:int array -> int
+(** Interpret a frame without re-running the dispatch logic
+    (invocation counting, tier-up, optimized-code lookup) — used by the
+    engine when machine code calls a not-yet-compiled function. *)
+
+val resume :
+  Runtime.t -> fid:int -> closure:int -> regs:int array -> acc:int ->
+  pc:int -> int
+(** Continue a function in the interpreter from bytecode offset [pc]
+    with a materialized frame — the deoptimization (bailout) entry
+    point. *)

@@ -1,0 +1,174 @@
+type token =
+  | Tnum of float
+  | Tstr of string
+  | Tident of string
+  | Tkeyword of string
+  | Tpunct of string
+  | Teof
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string
+
+let keywords =
+  [ "var"; "let"; "const"; "function"; "return"; "if"; "else"; "while"; "do";
+    "for"; "break"; "continue"; "true"; "false"; "null"; "undefined"; "new";
+    "typeof"; "this" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Multi-character punctuators, longest first. *)
+let punctuators =
+  [ ">>>="; "==="; "!=="; ">>>"; "<<="; ">>="; "&&"; "||"; "=="; "!="; "<=";
+    ">="; "++"; "--"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "<<";
+    ">>"; "{"; "}"; "("; ")"; "["; "]"; ";"; ","; "."; "?"; ":"; "="; "+";
+    "-"; "*"; "/"; "%"; "<"; ">"; "!"; "~"; "&"; "|"; "^" ]
+
+let token_to_string = function
+  | Tnum f -> Printf.sprintf "number %g" f
+  | Tstr s -> Printf.sprintf "string %S" s
+  | Tident s -> Printf.sprintf "identifier %s" s
+  | Tkeyword s -> Printf.sprintf "keyword %s" s
+  | Tpunct s -> Printf.sprintf "'%s'" s
+  | Teof -> "<eof>"
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let error fmt =
+    Printf.ksprintf
+      (fun m -> raise (Lex_error (Printf.sprintf "line %d: %s" !line m)))
+      fmt
+  in
+  let emit tok col = tokens := { tok; line = !line; col } :: !tokens in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    let col = !pos - !line_start + 1 in
+    if c = '\n' then begin
+      incr line;
+      incr pos;
+      line_start := !pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then begin
+          incr line;
+          line_start := !pos + 1
+        end;
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then error "unterminated block comment"
+    end
+    else if is_digit c || (c = '.' && match peek 1 with Some d -> is_digit d | None -> false)
+    then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while
+          !pos < n
+          && (is_digit src.[!pos]
+             || (src.[!pos] >= 'a' && src.[!pos] <= 'f')
+             || (src.[!pos] >= 'A' && src.[!pos] <= 'F'))
+        do
+          incr pos
+        done;
+        let s = String.sub src start (!pos - start) in
+        emit (Tnum (float_of_int (int_of_string s))) col
+      end
+      else begin
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        if !pos < n && src.[!pos] = '.' then begin
+          incr pos;
+          while !pos < n && is_digit src.[!pos] do
+            incr pos
+          done
+        end;
+        if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+          incr pos;
+          if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+          while !pos < n && is_digit src.[!pos] do
+            incr pos
+          done
+        end;
+        let s = String.sub src start (!pos - start) in
+        emit (Tnum (float_of_string s)) col
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let s = String.sub src start (!pos - start) in
+      if List.mem s keywords then emit (Tkeyword s) col else emit (Tident s) col
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        let d = src.[!pos] in
+        if d = quote then begin
+          closed := true;
+          incr pos
+        end
+        else if d = '\\' then begin
+          (match peek 1 with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some '\'' -> Buffer.add_char buf '\''
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '0' -> Buffer.add_char buf '\000'
+          | Some other -> Buffer.add_char buf other
+          | None -> error "dangling escape");
+          pos := !pos + 2
+        end
+        else if d = '\n' then error "newline in string literal"
+        else begin
+          Buffer.add_char buf d;
+          incr pos
+        end
+      done;
+      if not !closed then error "unterminated string literal";
+      emit (Tstr (Buffer.contents buf)) col
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !pos + l <= n && String.sub src !pos l = p)
+          punctuators
+      in
+      match matched with
+      | Some p ->
+        pos := !pos + String.length p;
+        emit (Tpunct p) col
+      | None -> error "unexpected character %C" c
+    end
+  done;
+  tokens := { tok = Teof; line = !line; col = 0 } :: !tokens;
+  Array.of_list (List.rev !tokens)

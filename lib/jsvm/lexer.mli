@@ -1,0 +1,18 @@
+(** Hand-written lexer for the JavaScript subset. *)
+
+type token =
+  | Tnum of float
+  | Tstr of string
+  | Tident of string
+  | Tkeyword of string
+  | Tpunct of string
+  | Teof
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string
+
+val tokenize : string -> located array
+(** Raises {!Lex_error} with a line-annotated message on bad input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,472 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { toks : Lexer.located array; mutable i : int }
+
+let error st fmt =
+  let { Lexer.tok; line; _ } = st.toks.(st.i) in
+  Printf.ksprintf
+    (fun m ->
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d: %s (at %s)" line m (Lexer.token_to_string tok))))
+    fmt
+
+let peek st = st.toks.(st.i).Lexer.tok
+let advance st = st.i <- st.i + 1
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.Tpunct q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_punct st p =
+  if not (accept_punct st p) then error st "expected '%s'" p
+
+let accept_keyword st k =
+  match peek st with
+  | Lexer.Tkeyword q when q = k ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Tident s ->
+    advance st;
+    s
+  | _ -> error st "expected identifier"
+
+(* Binary operator precedence (higher binds tighter). *)
+let binop_of_punct = function
+  | "||" -> Some (Logical_or, 1)
+  | "&&" -> Some (Logical_and, 2)
+  | "|" -> Some (Bit_or, 3)
+  | "^" -> Some (Bit_xor, 4)
+  | "&" -> Some (Bit_and, 5)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Neq, 6)
+  | "===" -> Some (Strict_eq, 6)
+  | "!==" -> Some (Strict_neq, 6)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | ">>>" -> Some (Ushr, 8)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Mod, 10)
+  | _ -> None
+
+let compound_of_punct = function
+  | "+=" -> Some Add
+  | "-=" -> Some Sub
+  | "*=" -> Some Mul
+  | "/=" -> Some Div
+  | "%=" -> Some Mod
+  | "&=" -> Some Bit_and
+  | "|=" -> Some Bit_or
+  | "^=" -> Some Bit_xor
+  | "<<=" -> Some Shl
+  | ">>=" -> Some Shr
+  | ">>>=" -> Some Ushr
+  | _ -> None
+
+let target_of_expr st = function
+  | Ident s -> T_ident s
+  | Member (o, f) -> T_member (o, f)
+  | Index (o, i) -> T_index (o, i)
+  | _ -> error st "invalid assignment target"
+
+let rec parse_expr st = parse_assignment st
+
+and parse_assignment st =
+  let lhs = parse_conditional st in
+  match peek st with
+  | Lexer.Tpunct "=" ->
+    advance st;
+    let rhs = parse_assignment st in
+    Assign (target_of_expr st lhs, rhs)
+  | Lexer.Tpunct p -> (
+    match compound_of_punct p with
+    | Some op ->
+      advance st;
+      let rhs = parse_assignment st in
+      Compound_assign (op, target_of_expr st lhs, rhs)
+    | None -> lhs)
+  | _ -> lhs
+
+and parse_conditional st =
+  let cond = parse_binary st 1 in
+  if accept_punct st "?" then begin
+    let a = parse_assignment st in
+    expect_punct st ":";
+    let b = parse_assignment st in
+    Conditional (cond, a, b)
+  end
+  else cond
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match peek st with
+    | Lexer.Tpunct p -> (
+      match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := Binary (op, !lhs, rhs)
+      | _ -> continue_loop := false)
+    | _ -> continue_loop := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.Tpunct "-" ->
+    advance st;
+    Unary (Neg, parse_unary st)
+  | Lexer.Tpunct "+" ->
+    advance st;
+    Unary (Plus, parse_unary st)
+  | Lexer.Tpunct "!" ->
+    advance st;
+    Unary (Not, parse_unary st)
+  | Lexer.Tpunct "~" ->
+    advance st;
+    Unary (Bit_not, parse_unary st)
+  | Lexer.Tkeyword "typeof" ->
+    advance st;
+    Unary (Typeof, parse_unary st)
+  | Lexer.Tpunct "++" ->
+    advance st;
+    let e = parse_unary st in
+    Update { op_add = true; prefix = true; target = target_of_expr st e }
+  | Lexer.Tpunct "--" ->
+    advance st;
+    let e = parse_unary st in
+    Update { op_add = false; prefix = true; target = target_of_expr st e }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_call_member st in
+  match peek st with
+  | Lexer.Tpunct "++" ->
+    advance st;
+    Update { op_add = true; prefix = false; target = target_of_expr st e }
+  | Lexer.Tpunct "--" ->
+    advance st;
+    Update { op_add = false; prefix = false; target = target_of_expr st e }
+  | _ -> e
+
+and parse_call_member st =
+  let e = ref (parse_primary st) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match peek st with
+    | Lexer.Tpunct "." ->
+      advance st;
+      let name = expect_ident st in
+      if peek st = Lexer.Tpunct "(" then begin
+        advance st;
+        let args = parse_args st in
+        e := Method_call (!e, name, args)
+      end
+      else e := Member (!e, name)
+    | Lexer.Tpunct "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      e := Index (!e, idx)
+    | Lexer.Tpunct "(" ->
+      advance st;
+      let args = parse_args st in
+      e := Call (!e, args)
+    | _ -> continue_loop := false
+  done;
+  !e
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let a = parse_assignment st in
+      if accept_punct st "," then go (a :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (a :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Tnum f ->
+    advance st;
+    Number f
+  | Lexer.Tstr s ->
+    advance st;
+    String s
+  | Lexer.Tident s ->
+    advance st;
+    Ident s
+  | Lexer.Tkeyword "true" ->
+    advance st;
+    Bool true
+  | Lexer.Tkeyword "false" ->
+    advance st;
+    Bool false
+  | Lexer.Tkeyword "null" ->
+    advance st;
+    Null
+  | Lexer.Tkeyword "undefined" ->
+    advance st;
+    Undefined
+  | Lexer.Tkeyword "this" ->
+    advance st;
+    This
+  | Lexer.Tkeyword "new" ->
+    advance st;
+    let callee = parse_new_callee st in
+    let args = if accept_punct st "(" then parse_args st else [] in
+    New (callee, args)
+  | Lexer.Tkeyword "function" ->
+    advance st;
+    Function_expr (parse_function_rest st)
+  | Lexer.Tpunct "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | Lexer.Tpunct "[" ->
+    advance st;
+    if accept_punct st "]" then Array_lit []
+    else begin
+      let rec go acc =
+        let e = parse_assignment st in
+        if accept_punct st "," then
+          if peek st = Lexer.Tpunct "]" then begin
+            advance st;
+            List.rev (e :: acc)
+          end
+          else go (e :: acc)
+        else begin
+          expect_punct st "]";
+          List.rev (e :: acc)
+        end
+      in
+      Array_lit (go [])
+    end
+  | Lexer.Tpunct "{" ->
+    advance st;
+    if accept_punct st "}" then Object_lit []
+    else begin
+      let rec go acc =
+        let key =
+          match peek st with
+          | Lexer.Tident s | Lexer.Tkeyword s ->
+            advance st;
+            s
+          | Lexer.Tstr s ->
+            advance st;
+            s
+          | Lexer.Tnum f ->
+            advance st;
+            if Float.is_integer f then string_of_int (int_of_float f)
+            else string_of_float f
+          | _ -> error st "expected property name"
+        in
+        expect_punct st ":";
+        let v = parse_assignment st in
+        if accept_punct st "," then
+          if peek st = Lexer.Tpunct "}" then begin
+            advance st;
+            List.rev ((key, v) :: acc)
+          end
+          else go ((key, v) :: acc)
+        else begin
+          expect_punct st "}";
+          List.rev ((key, v) :: acc)
+        end
+      in
+      Object_lit (go [])
+    end
+  | _ -> error st "unexpected token"
+
+and parse_new_callee st =
+  (* new F(...) / new ns.F(...): member chain without calls/indexing. *)
+  let e = ref (Ident (expect_ident st)) in
+  while peek st = Lexer.Tpunct "." do
+    advance st;
+    e := Member (!e, expect_ident st)
+  done;
+  !e
+
+and parse_function_rest st =
+  let fname =
+    match peek st with
+    | Lexer.Tident s ->
+      advance st;
+      Some s
+    | _ -> None
+  in
+  expect_punct st "(";
+  let params =
+    if accept_punct st ")" then []
+    else begin
+      let rec go acc =
+        let p = expect_ident st in
+        if accept_punct st "," then go (p :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev (p :: acc)
+        end
+      in
+      go []
+    end
+  in
+  expect_punct st "{";
+  let body = parse_stmts_until st "}" in
+  { fname; params; body }
+
+and parse_stmts_until st closer =
+  let rec go acc =
+    if accept_punct st closer then List.rev acc
+    else if peek st = Lexer.Teof then error st "unexpected end of input"
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_var_decl st =
+  let rec go acc =
+    let name = expect_ident st in
+    let init = if accept_punct st "=" then Some (parse_assignment st) else None in
+    if accept_punct st "," then go ((name, init) :: acc)
+    else List.rev ((name, init) :: acc)
+  in
+  Var_decl (go [])
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.Tkeyword ("var" | "let" | "const") ->
+    advance st;
+    let d = parse_var_decl st in
+    ignore (accept_punct st ";");
+    d
+  | Lexer.Tkeyword "function" ->
+    advance st;
+    let f = parse_function_rest st in
+    if f.fname = None then error st "function declaration needs a name";
+    Func_decl f
+  | Lexer.Tkeyword "return" ->
+    advance st;
+    if accept_punct st ";" then Return None
+    else if peek st = Lexer.Tpunct "}" then Return None
+    else begin
+      let e = parse_expr st in
+      ignore (accept_punct st ";");
+      Return (Some e)
+    end
+  | Lexer.Tkeyword "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_b = parse_block_or_single st in
+    let else_b =
+      if accept_keyword st "else" then
+        if peek st = Lexer.Tkeyword "if" then [ parse_stmt st ]
+        else parse_block_or_single st
+      else []
+    in
+    If (cond, then_b, else_b)
+  | Lexer.Tkeyword "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    While (cond, parse_block_or_single st)
+  | Lexer.Tkeyword "do" ->
+    advance st;
+    let body = parse_block_or_single st in
+    if not (accept_keyword st "while") then error st "expected 'while'";
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    ignore (accept_punct st ";");
+    Do_while (body, cond)
+  | Lexer.Tkeyword "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else begin
+        let s =
+          match peek st with
+          | Lexer.Tkeyword ("var" | "let" | "const") ->
+            advance st;
+            parse_var_decl st
+          | _ -> Expr_stmt (parse_expr st)
+        in
+        expect_punct st ";";
+        Some s
+      end
+    in
+    let cond = if accept_punct st ";" then None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        Some e
+      end
+    in
+    let step = if accept_punct st ")" then None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ")";
+        Some e
+      end
+    in
+    For (init, cond, step, parse_block_or_single st)
+  | Lexer.Tkeyword "break" ->
+    advance st;
+    ignore (accept_punct st ";");
+    Break
+  | Lexer.Tkeyword "continue" ->
+    advance st;
+    ignore (accept_punct st ";");
+    Continue
+  | Lexer.Tpunct "{" ->
+    advance st;
+    Block (parse_stmts_until st "}")
+  | Lexer.Tpunct ";" ->
+    advance st;
+    Block []
+  | _ ->
+    let e = parse_expr st in
+    ignore (accept_punct st ";");
+    Expr_stmt e
+
+and parse_block_or_single st =
+  if accept_punct st "{" then parse_stmts_until st "}" else [ parse_stmt st ]
+
+let parse src =
+  let st = { toks = Lexer.tokenize src; i = 0 } in
+  let rec go acc =
+    if peek st = Lexer.Teof then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_expression src =
+  let st = { toks = Lexer.tokenize src; i = 0 } in
+  let e = parse_expr st in
+  if peek st <> Lexer.Teof then error st "trailing tokens after expression";
+  e

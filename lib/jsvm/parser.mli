@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the JavaScript subset. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.program
+(** Raises {!Parse_error} (or {!Lexer.Lex_error}) with a line-annotated
+    message. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (testing aid). *)

@@ -1,0 +1,32 @@
+(** Backtracking regular-expression engine (the "Irregexp" substitute).
+
+    The paper notes that regex benchmarks show almost no check overhead
+    because their work happens inside V8's regex engine rather than in
+    JIT-compiled code; this module plays that role — regex matching is a
+    builtin whose cost is charged in bulk, outside JIT code.
+
+    Supported syntax: literals, [.], character classes with ranges and
+    negation, escapes (\d \D \w \W \s \S and punctuation), anchors ^ $,
+    quantifiers * + ? {m} {m,} {m,n} (greedy and lazy), alternation,
+    capturing groups. *)
+
+type compiled
+
+exception Regex_error of string
+
+val compile : string -> compiled
+val source : compiled -> string
+
+type match_result = {
+  m_start : int;
+  m_end : int;
+  captures : (int * int) option array;  (** group i -> (start, end) *)
+}
+
+val exec : compiled -> string -> int -> match_result option
+(** [exec re s from] finds the first match at or after [from]. *)
+
+val test : compiled -> string -> bool
+
+val steps_of_last_exec : compiled -> int
+(** Backtracking steps the most recent search took (cost accounting). *)

@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  sets : int;
+  assoc : int;
+  line_shift : int;
+  hit_latency : int;
+  tags : int array;      (* sets * assoc, -1 = invalid *)
+  lru : int array;       (* sets * assoc, higher = more recent *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~name ~size_words ~assoc ~line_words ~hit_latency =
+  let lines = size_words / line_words in
+  let sets = max 1 (lines / assoc) in
+  {
+    name;
+    sets;
+    assoc;
+    line_shift = log2i line_words;
+    hit_latency;
+    tags = Array.make (sets * assoc) (-1);
+    lru = Array.make (sets * assoc) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  t.clock <- t.clock + 1;
+  let rec find i =
+    if i >= t.assoc then None
+    else if t.tags.(base + i) = line then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    t.hits <- t.hits + 1;
+    t.lru.(base + i) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict LRU way. *)
+    let victim = ref 0 in
+    for i = 1 to t.assoc - 1 do
+      if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- line;
+    t.lru.(base + !victim) <- t.clock;
+    false
+
+let hit_latency t = t.hit_latency
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+type hierarchy = { l1d : t; l1i : t; l2 : t; mem_latency : int }
+
+let default_hierarchy () =
+  {
+    l1d = create ~name:"L1D" ~size_words:(32 * 1024 / 4) ~assoc:4 ~line_words:16 ~hit_latency:3;
+    l1i = create ~name:"L1I" ~size_words:(32 * 1024 / 4) ~assoc:4 ~line_words:16 ~hit_latency:1;
+    l2 = create ~name:"L2" ~size_words:(512 * 1024 / 4) ~assoc:8 ~line_words:16 ~hit_latency:12;
+    mem_latency = 90;
+  }
+
+let small_hierarchy () =
+  {
+    l1d = create ~name:"L1D" ~size_words:(16 * 1024 / 4) ~assoc:2 ~line_words:16 ~hit_latency:2;
+    l1i = create ~name:"L1I" ~size_words:(16 * 1024 / 4) ~assoc:2 ~line_words:16 ~hit_latency:1;
+    l2 = create ~name:"L2" ~size_words:(128 * 1024 / 4) ~assoc:8 ~line_words:16 ~hit_latency:10;
+    mem_latency = 110;
+  }
+
+let data_latency h addr =
+  if access h.l1d addr then h.l1d.hit_latency
+  else if access h.l2 addr then h.l1d.hit_latency + h.l2.hit_latency
+  else h.l1d.hit_latency + h.l2.hit_latency + h.mem_latency
+
+let inst_latency h addr =
+  if access h.l1i addr then 0
+  else if access h.l2 addr then h.l2.hit_latency
+  else h.l2.hit_latency + h.mem_latency

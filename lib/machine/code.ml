@@ -1,0 +1,90 @@
+type frame_value =
+  | Fv_reg of int
+  | Fv_reg32 of int
+  | Fv_freg of int
+  | Fv_slot of int
+  | Fv_slot32 of int
+  | Fv_fslot of int
+  | Fv_const of int
+  | Fv_fconst of float
+  | Fv_dead
+
+type deopt_point = {
+  dp_id : int;
+  reason : Insn.deopt_reason;
+  bc_pc : int;
+  frame : frame_value array;
+  accumulator : frame_value;
+}
+
+type t = {
+  code_id : int;
+  name : string;
+  arch : Arch.t;
+  insns : Insn.t array;
+  label_index : int array;
+  deopts : deopt_point array;
+  gp_slots : int;
+  fp_slots : int;
+  base_addr : int;
+}
+
+let assemble ~code_id ~name ~arch ~deopts ~gp_slots ~fp_slots ~base_addr insns =
+  let insns = Array.of_list insns in
+  let max_label =
+    Array.fold_left
+      (fun acc i ->
+        match i.Insn.kind with
+        | Insn.Label l | Insn.B l | Insn.Bcond (_, l) -> max acc l
+        | _ -> acc)
+      (-1) insns
+  in
+  let label_index = Array.make (max_label + 1) (-1) in
+  Array.iteri
+    (fun idx i ->
+      match i.Insn.kind with
+      | Insn.Label l -> label_index.(l) <- idx
+      | _ -> ())
+    insns;
+  Array.iter
+    (fun i ->
+      match i.Insn.kind with
+      | Insn.B l | Insn.Bcond (_, l) ->
+        if l > max_label || label_index.(l) < 0 then
+          invalid_arg (Printf.sprintf "Code.assemble(%s): unknown label L%d" name l)
+      | _ -> ())
+    insns;
+  { code_id; name; arch; insns; label_index; deopts; gp_slots; fp_slots; base_addr }
+
+let real_instructions t =
+  Array.fold_left
+    (fun acc i -> if Insn.is_pseudo i.Insn.kind then acc else acc + 1)
+    0 t.insns
+
+let static_check_instructions t =
+  Array.fold_left
+    (fun acc i ->
+      match (Insn.is_pseudo i.Insn.kind, i.Insn.prov) with
+      | false, Insn.Check _ -> acc + 1
+      | _ -> acc)
+    0 t.insns
+
+let listing ?samples t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf ";; code %s (%s), %d instructions, %d deopt points\n" t.name
+       (Arch.name t.arch) (real_instructions t)
+       (Array.length t.deopts));
+  Array.iteri
+    (fun idx i ->
+      let prefix =
+        match samples with
+        | None -> Printf.sprintf "%4d: " idx
+        | Some s ->
+          let n = if idx < Array.length s then s.(idx) else 0 in
+          Printf.sprintf "%6d | %4d: " n idx
+      in
+      let indent = match i.Insn.kind with Insn.Label _ -> "" | _ -> "  " in
+      Buffer.add_string buf (prefix ^ indent ^ Insn.to_string t.arch i ^ "\n"))
+    t.insns;
+  Buffer.contents buf

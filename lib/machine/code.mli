@@ -1,0 +1,56 @@
+(** Executable code objects produced by the JIT backends.
+
+    A code object is an assembled instruction array with resolved branch
+    labels, a deoptimization-point table describing how to rebuild the
+    interpreter frame at each check (paper: TurboFan checkpoints), and a
+    pseudo base address used by the instruction cache and the PC
+    sampler. *)
+
+(** Where an interpreter-visible value lives in machine state when a
+    deopt point is reached. *)
+type frame_value =
+  | Fv_reg of int        (** tagged word in a GP register *)
+  | Fv_reg32 of int      (** untagged SMI payload in a GP register *)
+  | Fv_freg of int       (** unboxed double in an FP register *)
+  | Fv_slot of int       (** tagged word in a spill slot *)
+  | Fv_slot32 of int     (** untagged SMI payload in a spill slot *)
+  | Fv_fslot of int      (** unboxed double in an FP spill slot *)
+  | Fv_const of int      (** known tagged constant *)
+  | Fv_fconst of float   (** known double constant (boxed on rebuild) *)
+  | Fv_dead              (** value not live at this point *)
+
+type deopt_point = {
+  dp_id : int;
+  reason : Insn.deopt_reason;
+  bc_pc : int;                 (** bytecode offset to resume at *)
+  frame : frame_value array;   (** interpreter register file image *)
+  accumulator : frame_value;
+}
+
+type t = {
+  code_id : int;
+  name : string;
+  arch : Arch.t;
+  insns : Insn.t array;
+  label_index : int array;     (** label id -> instruction index *)
+  deopts : deopt_point array;
+  gp_slots : int;              (** spill frame size, tagged words *)
+  fp_slots : int;
+  base_addr : int;             (** pseudo code address, word units *)
+}
+
+val assemble :
+  code_id:int -> name:string -> arch:Arch.t -> deopts:deopt_point array ->
+  gp_slots:int -> fp_slots:int -> base_addr:int -> Insn.t list -> t
+(** Resolves [Label] pseudo-instructions into the [label_index] table.
+    Raises [Invalid_argument] on branches to unknown labels. *)
+
+val real_instructions : t -> int
+(** Number of non-pseudo instructions (what a CPU would retire). *)
+
+val static_check_instructions : t -> int
+(** Non-pseudo instructions whose provenance is [Check _]. *)
+
+val listing : ?samples:int array -> t -> string
+(** Annotated assembly listing; with [samples], prefixes each line with
+    its PC-sample count (paper Fig 3). *)

@@ -1,0 +1,116 @@
+(** CPU timing models (the gem5-equivalent substrate).
+
+    An interval-style model: instructions dispatch at a bounded width,
+    start when their operands are ready (out-of-order cores may run
+    ahead of the dispatch pointer up to a ROB-slack window; in-order
+    cores stall), and complete after a class latency — loads consult the
+    cache hierarchy, branches the gshare predictor.  This reproduces the
+    effects the paper leans on: rarely-taken predicted branches are
+    nearly free, condition computations serialize with their consumers,
+    RISC vs CISC instruction-count differences translate into frontend
+    pressure, and the fused [jsldrsmi] removes ALU latency from the
+    critical path (its untagging shift happens inside the load unit,
+    Fig 12). *)
+
+type insn_class =
+  | C_alu
+  | C_mul
+  | C_div
+  | C_load
+  | C_store
+  | C_branch
+  | C_falu
+  | C_fmul
+  | C_fdiv
+  | C_fcvt
+  | C_call
+  | C_nop
+
+type config = {
+  cfg_name : string;
+  inorder : bool;
+  width : int;                (** dispatch width, instructions / cycle *)
+  rob_slack : float;          (** O3 lookahead window, cycles *)
+  mispredict_penalty : float;
+  taken_bubble : float;       (** fetch-redirect bubble of a taken branch *)
+  lat_alu : float;
+  lat_mul : float;
+  lat_div : float;
+  lat_falu : float;
+  lat_fmul : float;
+  lat_fdiv : float;
+  lat_fcvt : float;
+  lat_call : float;
+  smi_load_extra : float;     (** extra latency of [jsldrsmi] over [ldr] *)
+  small_caches : bool;
+}
+
+(** {1 Named configurations} *)
+
+val fast_x64 : config
+(** "Real hardware" tier for the characterization experiments: a
+    Xeon-class wide O3 core. *)
+
+val fast_arm64 : config
+(** Kunpeng-920-class O3 core, ARM64 latencies (FP add 2x int add, as
+    the paper notes for Cortex-A76-class cores). *)
+
+val inorder_a55 : config
+val inorder_hpd : config
+val o3_exynos_big : config
+val o3_kpg : config
+
+val gem5_cpus : config list
+(** The four cores used by the ISA-extension experiments (Fig 13/14). *)
+
+val fast_for : Arch.t -> config
+
+(** {1 Timing state} *)
+
+type t = {
+  cfg : config;
+  hier : Cache.hierarchy;
+  bp : Predictor.t;
+  mutable now : float;          (** dispatch pointer, cycles *)
+  mutable high : float;         (** max completion time = elapsed cycles *)
+  reg_ready : float array;      (** GP regs + specials *)
+  freg_ready : float array;
+  mutable flags_ready : float;
+  mutable last_iline : int;
+  counters : Perf.counters;
+  sampler : Perf.sampler option;
+  inv_width : float;
+  mutable cur_code : int;   (** attribution target for the PC sampler *)
+  mutable cur_pc : int;
+}
+
+val create : ?sampler:Perf.sampler -> config -> t
+val reset : t -> unit
+(** Clears timing state and counters but keeps cache/predictor warmth. *)
+
+val cycles : t -> float
+
+(** {1 Per-instruction hooks (called by the executor)} *)
+
+val fetch : t -> addr:int -> unit
+(** Instruction-cache charge when the fetch line changes. *)
+
+val issue : t -> cls:insn_class -> ready:float -> float
+(** Dispatch + execute one instruction whose operands are ready at
+    [ready]; returns its completion time.  Counts it as retired. *)
+
+val issue_load : t -> ready:float -> addr:int -> float
+val issue_store : t -> ready:float -> addr:int -> float
+
+val issue_branch : t -> pc:int -> ready:float -> taken:bool -> float
+(** Returns completion; applies misprediction or taken-branch frontend
+    penalties. *)
+
+val charge : t -> cycles:float -> instructions:int -> code_id:int -> unit
+(** Bulk cost of non-JIT execution (interpreter, builtins, GC): advances
+    time, counts instructions, and lets the sampler attribute the region
+    to [code_id]. *)
+
+val sample : t -> code_id:int -> pc:int -> unit
+(** Set the sampler's attribution target for the next issue (the
+    sampler ticks at issue-start time inside {!issue}). *)

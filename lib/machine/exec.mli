@@ -1,0 +1,51 @@
+(** Functional + timed execution of JIT code objects.
+
+    The executor interprets a {!Code.t} over the host's tagged-word
+    memory while driving a {!Cpu.t} timing model instruction by
+    instruction.  Machine addresses are in half-word units so that a
+    tagged pointer (2*index+1) can be used directly as a base register
+    with the tag absorbed into the displacement, exactly like V8's
+    compressed-pointer addressing; the executor converts to word indexes
+    internally.
+
+    Calls leave the machine world through the host callbacks: builtins
+    and JS-to-JS calls are dispatched by the embedding engine, which may
+    recursively run compiled code or fall back to its interpreter.  All
+    registers are caller-saved; arguments arrive in r0..r5 and the
+    result returns in r0. *)
+
+type host = {
+  memory : int array;
+  call_builtin : int -> int array -> int;
+      (** [call_builtin id args] with [args] = r0..r5; must charge its
+          own cost on the shared CPU; returns the tagged result. *)
+  call_js : int -> int array -> int;
+      (** [call_js function_id args]; same contract. *)
+}
+
+type snapshot = {
+  s_regs : int array;
+  s_fregs : float array;
+  s_slots : int array;
+  s_fslots : float array;
+}
+
+type outcome =
+  | Done of int                    (** tagged return value (r0) *)
+  | Deopt of {
+      deopt_id : int;
+      reason : Insn.deopt_reason;
+      snapshot : snapshot;
+      via_smi_ext : bool;          (** bailout through REG_BA/REG_RE *)
+    }
+
+exception Machine_fault of string
+(** Unaligned access, out-of-range address, or executing past the end of
+    the code object — always a JIT bug, never a user-program error. *)
+
+val run : Cpu.t -> host:host -> code:Code.t -> args:int array -> outcome
+
+val frame_value :
+  snapshot -> materialize_double:(float -> int) -> Code.frame_value -> int
+(** Resolve a deopt-point frame value against a snapshot; unboxed
+    doubles are re-boxed through [materialize_double]. *)

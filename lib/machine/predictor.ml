@@ -1,0 +1,25 @@
+type t = {
+  mask : int;
+  counters : Bytes.t;  (* 2-bit saturating counters *)
+  mutable ghr : int;
+}
+
+let create ?(bits = 15) () =
+  let size = 1 lsl bits in
+  { mask = size - 1; counters = Bytes.make size '\002'; ghr = 0 }
+
+let predict_and_update t ~pc ~taken =
+  let idx = (pc lxor t.ghr) land t.mask in
+  let c = Char.code (Bytes.unsafe_get t.counters idx) in
+  let predicted_taken = c >= 2 in
+  let c' =
+    if taken then min 3 (c + 1)
+    else max 0 (c - 1)
+  in
+  Bytes.unsafe_set t.counters idx (Char.unsafe_chr c');
+  t.ghr <- ((t.ghr lsl 1) lor (if taken then 1 else 0)) land t.mask;
+  predicted_taken = taken
+
+let reset t =
+  Bytes.fill t.counters 0 (Bytes.length t.counters) '\002';
+  t.ghr <- 0

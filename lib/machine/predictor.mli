@@ -1,0 +1,19 @@
+(** Gshare branch direction predictor.
+
+    The paper's Fig 10 observation — deopt branches are almost always
+    predicted correctly, so removing them barely moves mispredictions —
+    emerges from any history-based predictor because deopt branches are
+    essentially never taken.  A gshare table captures this and also the
+    secondary effect that removing branches frees table capacity for the
+    remaining branches. *)
+
+type t
+
+val create : ?bits:int -> unit -> t
+(** [bits] is the log2 table size (default 15). *)
+
+val predict_and_update : t -> pc:int -> taken:bool -> bool
+(** Returns [true] when the prediction was correct, and trains the
+    predictor. *)
+
+val reset : t -> unit

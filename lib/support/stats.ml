@@ -1,0 +1,268 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+let quartiles xs = (percentile xs 25.0, percentile xs 50.0, percentile xs 75.0)
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let geomean xs =
+  check_nonempty "Stats.geomean" xs;
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (acc /. float_of_int (Array.length xs))
+
+(* Lanczos approximation, g=7, n=9. *)
+let lanczos_coef =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x < 0.5 then
+    (* Reflection formula. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos_coef.(0) in
+    for i = 1 to 8 do
+      a := !a +. (lanczos_coef.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+(* Abramowitz & Stegun 7.1.26, max error 1.5e-7. *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    ((((1.061405429 *. t -. 1.453152027) *. t +. 1.421413741) *. t
+      -. 0.284496736)
+     *. t
+    +. 0.254829592)
+    *. t
+  in
+  sign *. (1.0 -. (poly *. exp (-.x *. x)))
+
+let normal_cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
+
+(* Continued fraction for the incomplete beta function (Numerical
+   Recipes betacf). *)
+let betacf a b x =
+  let max_iter = 200 and eps = 3e-12 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let finished = ref false in
+  while (not !finished) && !m <= max_iter do
+    let mf = float_of_int !m in
+    let m2 = 2.0 *. mf in
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.0) < eps then finished := true;
+    incr m
+  done;
+  !h
+
+let incomplete_beta ~a ~b ~x =
+  if x < 0.0 || x > 1.0 then invalid_arg "Stats.incomplete_beta: x out of range";
+  if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else begin
+    let bt =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b
+        +. (a *. log x)
+        +. (b *. log (1.0 -. x)))
+    in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then bt *. betacf a b x /. a
+    else 1.0 -. (bt *. betacf b a (1.0 -. x) /. b)
+  end
+
+let student_t_cdf ~df t =
+  let x = df /. (df +. (t *. t)) in
+  let p = 0.5 *. incomplete_beta ~a:(df /. 2.0) ~b:0.5 ~x in
+  if t > 0.0 then 1.0 -. p else p
+
+let student_t_inv ~df p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Stats.student_t_inv: p out of range";
+  let rec bisect lo hi iter =
+    if iter = 0 then (lo +. hi) /. 2.0
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if student_t_cdf ~df mid < p then bisect mid hi (iter - 1)
+      else bisect lo mid (iter - 1)
+    end
+  in
+  bisect (-1e3) 1e3 200
+
+let ci95_mean xs =
+  let n = Array.length xs in
+  check_nonempty "Stats.ci95_mean" xs;
+  let m = mean xs in
+  if n < 2 then (m, m)
+  else begin
+    let se = stddev xs /. sqrt (float_of_int n) in
+    let t = student_t_inv ~df:(float_of_int (n - 1)) 0.975 in
+    (m -. (t *. se), m +. (t *. se))
+  end
+
+type ttest = { t_stat : float; df : float; p_value : float }
+
+let welch_ttest xs ys =
+  let nx = float_of_int (Array.length xs)
+  and ny = float_of_int (Array.length ys) in
+  if nx < 2.0 || ny < 2.0 then invalid_arg "Stats.welch_ttest: need >= 2 samples";
+  let vx = variance xs /. nx and vy = variance ys /. ny in
+  let denom = sqrt (vx +. vy) in
+  if denom = 0.0 then { t_stat = 0.0; df = nx +. ny -. 2.0; p_value = 1.0 }
+  else begin
+    let t = (mean xs -. mean ys) /. denom in
+    let df =
+      ((vx +. vy) ** 2.0)
+      /. ((vx ** 2.0 /. (nx -. 1.0)) +. (vy ** 2.0 /. (ny -. 1.0)))
+    in
+    let p = 2.0 *. (1.0 -. student_t_cdf ~df (Float.abs t)) in
+    { t_stat = t; df; p_value = Float.min 1.0 (Float.max 0.0 p) }
+  end
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n < 2 then invalid_arg "Stats.pearson: need >= 2 points";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+let correlation_p_value ~n ~r =
+  if n < 3 then 1.0
+  else begin
+    let df = float_of_int (n - 2) in
+    let denom = 1.0 -. (r *. r) in
+    if denom <= 0.0 then 0.0
+    else begin
+      let t = r *. sqrt (df /. denom) in
+      let p = 2.0 *. (1.0 -. student_t_cdf ~df (Float.abs t)) in
+      Float.min 1.0 (Float.max 0.0 p)
+    end
+  end
+
+type regression = {
+  slope : float;
+  intercept : float;
+  r2 : float;
+  slope_ci95 : float * float;
+}
+
+let linear_regression xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.linear_regression: length mismatch";
+  if n < 3 then invalid_arg "Stats.linear_regression: need >= 3 points";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxy := !sxy +. (dx *. (ys.(i) -. my));
+    sxx := !sxx +. (dx *. dx)
+  done;
+  if !sxx = 0.0 then invalid_arg "Stats.linear_regression: degenerate x";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+  for i = 0 to n - 1 do
+    let fit = intercept +. (slope *. xs.(i)) in
+    ss_res := !ss_res +. ((ys.(i) -. fit) ** 2.0);
+    ss_tot := !ss_tot +. ((ys.(i) -. my) ** 2.0)
+  done;
+  let r2 = if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot) in
+  let df = float_of_int (n - 2) in
+  let se_slope = sqrt (!ss_res /. df /. !sxx) in
+  let t = student_t_inv ~df 0.975 in
+  {
+    slope;
+    intercept;
+    r2;
+    slope_ci95 = (slope -. (t *. se_slope), slope +. (t *. se_slope));
+  }
+
+let bonferroni ~alpha ~tests =
+  if tests <= 0 then invalid_arg "Stats.bonferroni: tests must be positive";
+  alpha /. float_of_int tests
+
+type significance = { significant : bool; practical : bool; p_value : float }
+
+let practical_significance ~alpha ~tests ~min_effect ~baseline ~variant =
+  let ({ p_value; _ } : ttest) = welch_ttest baseline variant in
+  let threshold = bonferroni ~alpha ~tests in
+  let mb = mean baseline and mv = mean variant in
+  let effect = if mb = 0.0 then 0.0 else Float.abs ((mb -. mv) /. mb) in
+  let significant = p_value < threshold in
+  { significant; practical = significant && effect > min_effect; p_value }

@@ -1,0 +1,85 @@
+(** Statistics used by the paper's analysis (Section IV).
+
+    Implements the descriptive statistics, Pearson correlation, ordinary
+    least-squares regression, Welch's t-test and the Bonferroni-adjusted
+    significance procedure the paper applies to its overhead estimates.
+    All special functions (log-gamma, incomplete beta, erf) are
+    self-contained. *)
+
+(** {1 Descriptive statistics} *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator). *)
+
+val stddev : float array -> float
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation. *)
+
+val quartiles : float array -> float * float * float
+(** (q1, median, q3). *)
+
+val min_max : float array -> float * float
+val geomean : float array -> float
+(** Geometric mean; all inputs must be positive. *)
+
+val ci95_mean : float array -> float * float
+(** 95 % confidence interval for the mean, Student-t based. *)
+
+(** {1 Special functions} *)
+
+val log_gamma : float -> float
+val erf : float -> float
+val normal_cdf : float -> float
+val incomplete_beta : a:float -> b:float -> x:float -> float
+(** Regularized incomplete beta function I_x(a,b). *)
+
+val student_t_cdf : df:float -> float -> float
+val student_t_inv : df:float -> float -> float
+(** [student_t_inv ~df p] is the p-quantile of the t distribution,
+    found by bisection. *)
+
+(** {1 Tests and models} *)
+
+type ttest = {
+  t_stat : float;
+  df : float;
+  p_value : float;  (** two-sided *)
+}
+
+val welch_ttest : float array -> float array -> ttest
+(** Welch's unequal-variance two-sample t-test. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient r. *)
+
+val correlation_p_value : n:int -> r:float -> float
+(** Two-sided p-value of the zero-correlation null hypothesis, using the
+    t transform of r with n-2 degrees of freedom. *)
+
+type regression = {
+  slope : float;
+  intercept : float;
+  r2 : float;
+  slope_ci95 : float * float;
+}
+
+val linear_regression : float array -> float array -> regression
+
+val bonferroni : alpha:float -> tests:int -> float
+(** Adjusted per-test significance threshold. *)
+
+type significance = {
+  significant : bool;  (** statistically significant at the adjusted level *)
+  practical : bool;    (** significant and |effect| > the practical bound *)
+  p_value : float;
+}
+
+val practical_significance :
+  alpha:float -> tests:int -> min_effect:float ->
+  baseline:float array -> variant:float array -> significance
+(** The paper's procedure (Section IV-A): Welch test between the two
+    populations, Bonferroni-adjusted threshold, practical significance
+    when the relative difference of means exceeds [min_effect]
+    (paper: 2 %). *)

@@ -1,0 +1,757 @@
+type env_consts = {
+  true_word : int;
+  false_word : int;
+  undefined_word : int;
+  heap_number_map_ptr : int;
+  stack_limit_cell : int;   (* tagged pointer to the interrupt cell *)
+  interrupt_builtin : int;
+}
+
+(* Scratch registers reserved by the allocator. *)
+let sc0 = Regalloc.first_scratch (* 15 *)
+let sc1 = Regalloc.first_scratch + 1
+let sc2 = Regalloc.first_scratch + 2
+let fsc0 = Regalloc.num_alloc_fp (* d10 *)
+let fsc1 = Regalloc.num_alloc_fp + 1
+
+type e = {
+  g : Son.t;
+  alloc : Regalloc.t;
+  arch : Arch.t;
+  remove_deopt_branches : bool;
+  consts : env_consts;
+  mutable out : Insn.t list;      (* reversed *)
+  mutable next_label : int;
+  mutable deopts : Code.deopt_point list;  (* reversed *)
+  mutable n_deopts : int;
+  mutable default_prov : Insn.provenance;
+      (* applied to instructions emitted without explicit provenance;
+         set while emitting nodes that only feed checks *)
+}
+
+let emit e ?prov ?comment kind =
+  let prov = match prov with Some p -> Some p | None ->
+    (match e.default_prov with Insn.Main_line -> None | p -> Some p)
+  in
+  e.out <- Insn.make ?prov ?comment kind :: e.out
+
+let fresh_label e =
+  let l = e.next_label in
+  e.next_label <- l + 1;
+  l
+
+let loc_of e n = e.alloc.Regalloc.loc.(n)
+
+(* Materialize a GP value into a register (using [sc] when it is not
+   already in one). *)
+let gp e loc sc =
+  match loc with
+  | Regalloc.L_reg r -> r
+  | Regalloc.L_slot s ->
+    emit e (Insn.Reload (sc, s));
+    sc
+  | Regalloc.L_const c ->
+    emit e (Insn.Mov (sc, Insn.Imm c));
+    sc
+  | Regalloc.L_none | Regalloc.L_freg _ | Regalloc.L_fslot _
+  | Regalloc.L_fconst _ ->
+    invalid_arg "Codegen.gp: not a GP location"
+
+let fp e loc sc =
+  match loc with
+  | Regalloc.L_freg f -> f
+  | Regalloc.L_fslot s ->
+    emit e (Insn.Reload_f (sc, s));
+    sc
+  | Regalloc.L_fconst v ->
+    emit e (Insn.Fmov_imm (sc, v));
+    sc
+  | Regalloc.L_none | Regalloc.L_reg _ | Regalloc.L_slot _ | Regalloc.L_const _
+    ->
+    invalid_arg "Codegen.fp: not an FP location"
+
+let input e n i = (Son.node e.g n).Son.inputs.(i)
+let gpi e n i sc = gp e (loc_of e (input e n i)) sc
+let fpi e n i sc = fp e (loc_of e (input e n i)) sc
+
+(* Right-hand operands that are small constants become immediates. *)
+let imm_fits c = c >= -4096 && c <= 4095
+
+let operand_i e n i sc =
+  match loc_of e (input e n i) with
+  | Regalloc.L_const c when imm_fits c -> Insn.Imm c
+  | loc -> Insn.Reg (gp e loc sc)
+
+(* Run [k dst] with the destination register of node [n], spilling
+   afterwards if the node lives in a slot. *)
+let def_gp e n k =
+  match loc_of e n with
+  | Regalloc.L_reg r -> k r
+  | Regalloc.L_slot s ->
+    k sc2;
+    emit e (Insn.Spill (s, sc2))
+  | Regalloc.L_none -> k sc2 (* value unused; effect may still matter *)
+  | _ -> invalid_arg "Codegen.def_gp: FP location"
+
+let def_fp e n k =
+  match loc_of e n with
+  | Regalloc.L_freg f -> k f
+  | Regalloc.L_fslot s ->
+    k fsc0;
+    emit e (Insn.Spill_f (s, fsc0))
+  | Regalloc.L_none -> k fsc0
+  | _ -> invalid_arg "Codegen.def_fp: GP location"
+
+(* ------------------------------------------------------------------ *)
+(* Deopt points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec frame_value e n =
+  if n < 0 then Code.Fv_dead
+  else frame_value_live e n
+
+and frame_value_live e n =
+  let kind = (Son.node e.g n).Son.kind in
+  match (loc_of e n, kind) with
+  | Regalloc.L_reg r, Son.K_int32 -> Code.Fv_reg32 r
+  | Regalloc.L_reg r, _ -> Code.Fv_reg r
+  | Regalloc.L_slot s, Son.K_int32 -> Code.Fv_slot32 s
+  | Regalloc.L_slot s, _ -> Code.Fv_slot s
+  | Regalloc.L_freg f, _ -> Code.Fv_freg f
+  | Regalloc.L_fslot s, _ -> Code.Fv_fslot s
+  | Regalloc.L_const c, _ -> Code.Fv_const c
+  | Regalloc.L_fconst v, _ -> Code.Fv_fconst v
+  | Regalloc.L_none, _ -> Code.Fv_dead
+
+let new_deopt e reason (fs : Son.frame_state) =
+  let dp_id = e.n_deopts in
+  e.n_deopts <- dp_id + 1;
+  let point =
+    {
+      Code.dp_id;
+      reason;
+      bc_pc = fs.Son.fs_bc_pc;
+      frame = Array.map (fun v -> frame_value e v) fs.Son.fs_regs;
+      accumulator = frame_value e fs.Son.fs_acc;
+    }
+  in
+  e.deopts <- point :: e.deopts;
+  dp_id
+
+let check_prov group role = Insn.Check { group; role }
+
+(* Emit the deopt branch for a check (respecting branch-removal mode). *)
+let emit_deopt_branch e ~cond ~reason ~fs =
+  let group = Insn.group_of_reason reason in
+  if e.remove_deopt_branches then ()
+  else begin
+    let dp = new_deopt e reason fs in
+    emit e ~prov:(check_prov group Insn.Role_branch) (Insn.Deopt_if (cond, dp))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Condition emission (shared by checks, compares and branches)        *)
+(* ------------------------------------------------------------------ *)
+
+let emit_condition e ?prov n =
+  let nd = Son.node e.g n in
+  let ckind, _cond =
+    match nd.Son.op with
+    | Son.N_cmp { ckind; cond } -> (ckind, cond)
+    | Son.N_check { ckind; cond; _ } -> (ckind, cond)
+    | _ -> invalid_arg "Codegen.emit_condition: not a condition node"
+  in
+  match ckind with
+  | Son.C_tst_imm imm ->
+    let a = gpi e n 0 sc0 in
+    emit e ?prov (Insn.Tst (a, Insn.Imm imm))
+  | Son.C_cmp_imm imm ->
+    let a = gpi e n 0 sc0 in
+    emit e ?prov (Insn.Cmp (a, Insn.Imm imm))
+  | Son.C_cmp_reg ->
+    let a = gpi e n 0 sc0 in
+    let b = operand_i e n 1 sc1 in
+    emit e ?prov (Insn.Cmp (a, b))
+  | Son.C_cmp_mem offset ->
+    let a = gpi e n 0 sc0 in
+    let base = gpi e n 1 sc1 in
+    emit e ?prov (Insn.Cmp_mem (a, Insn.mk_addr ~offset base))
+  | Son.C_fcmp ->
+    let a = fpi e n 0 fsc0 in
+    let b = fpi e n 1 fsc1 in
+    emit e ?prov (Insn.Fcmp (a, b))
+  | Son.C_always ->
+    emit e ?prov (Insn.Cmp (sc0, Insn.Reg sc0))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel moves                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type move = { src : Regalloc.location; dst : Regalloc.location }
+
+let is_gp_loc = function
+  | Regalloc.L_reg _ | Regalloc.L_slot _ | Regalloc.L_const _ -> true
+  | _ -> false
+
+let emit_single_move e { src; dst } =
+  if src = dst then ()
+  else begin
+    match (dst, src) with
+    | Regalloc.L_reg d, Regalloc.L_reg s -> emit e (Insn.Mov (d, Insn.Reg s))
+    | Regalloc.L_reg d, Regalloc.L_const c -> emit e (Insn.Mov (d, Insn.Imm c))
+    | Regalloc.L_reg d, Regalloc.L_slot s -> emit e (Insn.Reload (d, s))
+    | Regalloc.L_slot d, Regalloc.L_reg s -> emit e (Insn.Spill (d, s))
+    | Regalloc.L_slot d, Regalloc.L_const c ->
+      emit e (Insn.Mov (sc0, Insn.Imm c));
+      emit e (Insn.Spill (d, sc0))
+    | Regalloc.L_slot d, Regalloc.L_slot s ->
+      emit e (Insn.Reload (sc0, s));
+      emit e (Insn.Spill (d, sc0))
+    | Regalloc.L_freg d, Regalloc.L_freg s -> emit e (Insn.Fmov (d, s))
+    | Regalloc.L_freg d, Regalloc.L_fconst v -> emit e (Insn.Fmov_imm (d, v))
+    | Regalloc.L_freg d, Regalloc.L_fslot s -> emit e (Insn.Reload_f (d, s))
+    | Regalloc.L_fslot d, Regalloc.L_freg s -> emit e (Insn.Spill_f (d, s))
+    | Regalloc.L_fslot d, Regalloc.L_fconst v ->
+      emit e (Insn.Fmov_imm (fsc0, v));
+      emit e (Insn.Spill_f (d, fsc0))
+    | Regalloc.L_fslot d, Regalloc.L_fslot s ->
+      emit e (Insn.Reload_f (fsc0, s));
+      emit e (Insn.Spill_f (d, fsc0))
+    | _ -> invalid_arg "Codegen.emit_single_move: kind mismatch"
+  end
+
+(* Standard parallel-move resolution: repeatedly emit moves whose
+   destination is not the source of a pending move; break register
+   cycles through a scratch. *)
+let parallel_moves e moves =
+  let pending = ref (List.filter (fun m -> m.src <> m.dst) moves) in
+  let blocked m =
+    List.exists (fun other -> other.src = m.dst) !pending
+  in
+  let progress = ref true in
+  while !pending <> [] do
+    if !progress then begin
+      progress := false;
+      let ready, rest = List.partition (fun m -> not (blocked m)) !pending in
+      if ready <> [] then begin
+        List.iter (emit_single_move e) ready;
+        pending := rest;
+        progress := true
+      end
+      else begin
+        (* Cycle: all remaining moves are register-to-register within a
+           permutation.  Free one source via scratch. *)
+        match !pending with
+        | m :: rest ->
+          let scratch_loc =
+            if is_gp_loc m.src then Regalloc.L_reg sc1 else Regalloc.L_freg fsc1
+          in
+          emit_single_move e { src = m.src; dst = scratch_loc };
+          pending :=
+            { src = scratch_loc; dst = m.dst }
+            :: List.map
+                 (fun o -> if o.src = m.src then { o with src = scratch_loc } else o)
+                 rest;
+          progress := true
+        | [] -> ()
+      end
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Node emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mem_operand e n ~base_idx ~offset ~scale ~sc_base ~sc_index =
+  let base = gpi e n base_idx sc_base in
+  let nd = Son.node e.g n in
+  if Array.length nd.Son.inputs > base_idx + 1 && scale > 0 then begin
+    let index_node = input e n (base_idx + 1) in
+    let index = gpi e n (base_idx + 1) sc_index in
+    (* Tagged SMI indexes carry a factor of two; an untagged (fused
+       jsldrsmi) index doubles the scale instead. *)
+    let scale =
+      if (Son.node e.g index_node).Son.kind = Son.K_int32 then 2 * scale
+      else scale
+    in
+    Insn.mk_addr ~index ~scale ~offset base
+  end
+  else Insn.mk_addr ~offset base
+
+let emit_node e n =
+  let nd = Son.node e.g n in
+  match nd.Son.op with
+  | Son.N_param _ | Son.N_const _ | Son.N_fconst _ | Son.N_phi -> ()
+  | Son.N_int_binop op ->
+    let a = gpi e n 0 sc0 in
+    let b = operand_i e n 1 sc1 in
+    def_gp e n (fun dst ->
+        emit e (Insn.Alu { op; dst; src = a; rhs = b; set_flags = false }))
+  | Son.N_smi_add_checked | Son.N_smi_sub_checked ->
+    let op = if nd.Son.op = Son.N_smi_add_checked then Insn.Add else Insn.Sub in
+    let a = gpi e n 0 sc0 in
+    let b = operand_i e n 1 sc1 in
+    def_gp e n (fun dst ->
+        emit e (Insn.Alu { op; dst; src = a; rhs = b; set_flags = true }));
+    emit_deopt_branch e ~cond:Insn.Vs ~reason:Insn.Overflow
+      ~fs:(Option.get nd.Son.fs)
+  | Son.N_smi_mul_checked ->
+    let fs = Option.get nd.Son.fs in
+    (* Copy operands to scratches: the -0 check reads them after the
+       destination (which may alias an operand) is written. *)
+    let a = gpi e n 0 sc0 in
+    if a <> sc0 then emit e (Insn.Mov (sc0, Insn.Reg a));
+    let b = gpi e n 1 sc1 in
+    if b <> sc1 then emit e (Insn.Mov (sc1, Insn.Reg b));
+    (* A raw (already untagged) multiplicand — e.g. from a fused SMI
+       load — skips the untagging shift entirely. *)
+    let raw0 = (Son.node e.g (input e n 0)).Son.kind = Son.K_int32 in
+    if raw0 then emit e (Insn.Mov (sc2, Insn.Reg sc0))
+    else
+      emit e
+        (Insn.Alu { op = Insn.Asr; dst = sc2; src = sc0; rhs = Insn.Imm 1;
+                    set_flags = false });
+    def_gp e n (fun dst ->
+        emit e
+          (Insn.Alu { op = Insn.Mul; dst; src = sc2; rhs = Insn.Reg sc1;
+                      set_flags = true });
+        emit_deopt_branch e ~cond:Insn.Vs ~reason:Insn.Overflow ~fs;
+        (* -0: if the result is zero and either operand negative, deopt. *)
+        let ok = fresh_label e in
+        emit e
+          ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+          (Insn.Cmp (dst, Insn.Imm 0));
+        emit e (Insn.Bcond (Insn.Ne, ok));
+        (* Write the sign test into sc0, never the result register. *)
+        emit e
+          ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+          (Insn.Alu { op = Insn.Orr; dst = sc0; src = sc0; rhs = Insn.Reg sc1;
+                      set_flags = true });
+        emit_deopt_branch e ~cond:Insn.Lt ~reason:Insn.Minus_zero ~fs;
+        emit e (Insn.Label ok))
+  | Son.N_smi_div_checked ->
+    let fs = Option.get nd.Son.fs in
+    let a = gpi e n 0 sc0 in
+    if a <> sc0 then emit e (Insn.Mov (sc0, Insn.Reg a));
+    let b = gpi e n 1 sc1 in
+    if b <> sc1 then emit e (Insn.Mov (sc1, Insn.Reg b));
+    emit e
+      ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+      (Insn.Cmp (sc1, Insn.Imm 0));
+    emit_deopt_branch e ~cond:Insn.Eq ~reason:Insn.Division_by_zero ~fs;
+    (* Untag both (a raw dividend skips its shift), divide, verify there
+       was no remainder. *)
+    if (Son.node e.g (input e n 0)).Son.kind <> Son.K_int32 then
+      emit e (Insn.Alu { op = Insn.Asr; dst = sc0; src = sc0; rhs = Insn.Imm 1; set_flags = false });
+    emit e (Insn.Alu { op = Insn.Asr; dst = sc1; src = sc1; rhs = Insn.Imm 1; set_flags = false });
+    emit e (Insn.Alu { op = Insn.Sdiv; dst = sc2; src = sc0; rhs = Insn.Reg sc1; set_flags = false });
+    (* remainder = a - q*b *)
+    def_gp e n (fun dst ->
+        emit e
+          ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+          (Insn.Alu { op = Insn.Mul; dst = sc1; src = sc2; rhs = Insn.Reg sc1; set_flags = false });
+        emit e
+          ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+          (Insn.Cmp (sc1, Insn.Reg sc0));
+        emit_deopt_branch e ~cond:Insn.Ne ~reason:Insn.Lost_precision ~fs;
+        (* -0: q = 0 with negative dividend. *)
+        let ok = fresh_label e in
+        emit e
+          ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+          (Insn.Cmp (sc2, Insn.Imm 0));
+        emit e (Insn.Bcond (Insn.Ne, ok));
+        emit e
+          ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+          (Insn.Cmp (sc0, Insn.Imm 0));
+        emit_deopt_branch e ~cond:Insn.Lt ~reason:Insn.Minus_zero ~fs;
+        emit e (Insn.Label ok);
+        (* Retag with overflow check. *)
+        emit e (Insn.Alu { op = Insn.Add; dst; src = sc2; rhs = Insn.Reg sc2; set_flags = true });
+        emit_deopt_branch e ~cond:Insn.Vs ~reason:Insn.Overflow ~fs)
+  | Son.N_smi_mod_checked ->
+    let fs = Option.get nd.Son.fs in
+    let a = gpi e n 0 sc0 in
+    if a <> sc0 then emit e (Insn.Mov (sc0, Insn.Reg a));
+    let b = gpi e n 1 sc1 in
+    if b <> sc1 then emit e (Insn.Mov (sc1, Insn.Reg b));
+    emit e
+      ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+      (Insn.Cmp (sc1, Insn.Imm 0));
+    emit_deopt_branch e ~cond:Insn.Eq ~reason:Insn.Division_by_zero
+      ~fs;
+    if (Son.node e.g (input e n 0)).Son.kind <> Son.K_int32 then
+      emit e (Insn.Alu { op = Insn.Asr; dst = sc0; src = sc0; rhs = Insn.Imm 1; set_flags = false });
+    emit e (Insn.Alu { op = Insn.Asr; dst = sc1; src = sc1; rhs = Insn.Imm 1; set_flags = false });
+    def_gp e n (fun dst ->
+        emit e (Insn.Alu { op = Insn.Smod; dst = sc2; src = sc0; rhs = Insn.Reg sc1; set_flags = false });
+        (* -0: zero result from a negative dividend. *)
+        let ok = fresh_label e in
+        emit e
+          ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+          (Insn.Cmp (sc2, Insn.Imm 0));
+        emit e (Insn.Bcond (Insn.Ne, ok));
+        emit e
+          ~prov:(check_prov Insn.G_arith Insn.Role_condition)
+          (Insn.Cmp (sc0, Insn.Imm 0));
+        emit_deopt_branch e ~cond:Insn.Lt ~reason:Insn.Minus_zero ~fs;
+        emit e (Insn.Label ok);
+        emit e (Insn.Alu { op = Insn.Lsl; dst; src = sc2; rhs = Insn.Imm 1; set_flags = false }))
+  | Son.N_smi_untag ->
+    let a = gpi e n 0 sc0 in
+    def_gp e n (fun dst ->
+        emit e (Insn.Alu { op = Insn.Asr; dst; src = a; rhs = Insn.Imm 1; set_flags = false }))
+  | Son.N_smi_tag ->
+    let a = gpi e n 0 sc0 in
+    def_gp e n (fun dst ->
+        emit e (Insn.Alu { op = Insn.Lsl; dst; src = a; rhs = Insn.Imm 1; set_flags = false }))
+  | Son.N_smi_tag_checked ->
+    let a = gpi e n 0 sc0 in
+    def_gp e n (fun dst ->
+        emit e (Insn.Alu { op = Insn.Add; dst; src = a; rhs = Insn.Reg a; set_flags = true }));
+    emit_deopt_branch e ~cond:Insn.Vs ~reason:Insn.Overflow
+      ~fs:(Option.get nd.Son.fs)
+  | Son.N_float_binop op ->
+    let a = fpi e n 0 fsc0 in
+    let b = fpi e n 1 fsc1 in
+    def_fp e n (fun dst -> emit e (Insn.Falu { op; dst; a; b }))
+  | Son.N_int_to_float ->
+    let a = gpi e n 0 sc0 in
+    def_fp e n (fun dst -> emit e (Insn.Scvtf (dst, a)))
+  | Son.N_float_to_int ->
+    let a = fpi e n 0 fsc0 in
+    def_gp e n (fun dst -> emit e (Insn.Fcvtzs (dst, a)))
+  | Son.N_to_float ->
+    (* tagged number -> float64 with an SMI fast path and a map-checked
+       heap-number slow path (paper: Type check). *)
+    let fs = Option.get nd.Son.fs in
+    let a = gpi e n 0 sc0 in
+    if a <> sc0 then emit e (Insn.Mov (sc0, Insn.Reg a));
+    let heap_path = fresh_label e in
+    let done_l = fresh_label e in
+    def_fp e n (fun dst ->
+        emit e (Insn.Tst (sc0, Insn.Imm 1));
+        emit e (Insn.Bcond (Insn.Ne, heap_path));
+        emit e (Insn.Alu { op = Insn.Asr; dst = sc1; src = sc0; rhs = Insn.Imm 1; set_flags = false });
+        emit e (Insn.Scvtf (dst, sc1));
+        emit e (Insn.B done_l);
+        emit e (Insn.Label heap_path);
+        (if Arch.can_fold_memory_operand e.arch then begin
+           emit e
+             ~prov:(check_prov Insn.G_type Insn.Role_condition)
+             (Insn.Mov (sc1, Insn.Imm e.consts.heap_number_map_ptr));
+           emit e
+             ~prov:(check_prov Insn.G_type Insn.Role_condition)
+             (Insn.Cmp_mem (sc1, Insn.mk_addr ~offset:(-1) sc0))
+         end
+         else begin
+           emit e
+             ~prov:(check_prov Insn.G_type Insn.Role_condition)
+             (Insn.Ldr (sc1, Insn.mk_addr ~offset:(-1) sc0));
+           emit e
+             ~prov:(check_prov Insn.G_type Insn.Role_condition)
+             (Insn.Mov (sc2, Insn.Imm e.consts.heap_number_map_ptr));
+           emit e
+             ~prov:(check_prov Insn.G_type Insn.Role_condition)
+             (Insn.Cmp (sc1, Insn.Reg sc2))
+         end);
+        emit_deopt_branch e ~cond:Insn.Ne ~reason:Insn.Not_a_number ~fs;
+        emit e (Insn.Ldr_f (dst, Insn.mk_addr ~offset:1 sc0));
+        emit e (Insn.Label done_l))
+  | Son.N_cmp { cond; _ } ->
+    (* Materialized as a boolean oddball; branches re-emit the condition
+       themselves. *)
+    if loc_of e n <> Regalloc.L_none then begin
+      emit_condition e n;
+      let done_l = fresh_label e in
+      def_gp e n (fun dst ->
+          emit e (Insn.Mov (dst, Insn.Imm e.consts.true_word));
+          emit e (Insn.Bcond (cond, done_l));
+          emit e (Insn.Mov (dst, Insn.Imm e.consts.false_word));
+          emit e (Insn.Label done_l))
+    end
+  | Son.N_load { offset; scale; kind } -> (
+    if loc_of e n = Regalloc.L_none then ()
+    else begin
+      let addr = mem_operand e n ~base_idx:0 ~offset ~scale ~sc_base:sc0 ~sc_index:sc1 in
+      match kind with
+      | Son.M_tagged -> def_gp e n (fun dst -> emit e (Insn.Ldr (dst, addr)))
+      | Son.M_float -> def_fp e n (fun dst -> emit e (Insn.Ldr_f (dst, addr)))
+    end)
+  | Son.N_store { offset; scale; kind } -> (
+    let n_inputs = Array.length nd.Son.inputs in
+    let value_idx = n_inputs - 1 in
+    match kind with
+    | Son.M_tagged ->
+      let addr =
+        if n_inputs = 3 then
+          mem_operand e n ~base_idx:0 ~offset ~scale ~sc_base:sc0 ~sc_index:sc1
+        else begin
+          let base = gpi e n 0 sc0 in
+          Insn.mk_addr ~offset base
+        end
+      in
+      let v = gp e (loc_of e (input e n value_idx)) sc2 in
+      emit e (Insn.Str (addr, v));
+      (* Generational write barrier on stores that may write a pointer
+         (elided when the value is statically an SMI, as in V8). *)
+      let value_static_smi =
+        match (Son.node e.g (input e n value_idx)).Son.op with
+        | Son.N_const c -> c land 1 = 0
+        | Son.N_smi_add_checked | Son.N_smi_sub_checked
+        | Son.N_smi_mul_checked | Son.N_smi_div_checked
+        | Son.N_smi_mod_checked | Son.N_smi_tag | Son.N_smi_tag_checked ->
+          true
+        | _ -> false
+      in
+      if not value_static_smi then begin
+        let skip = fresh_label e in
+        emit e ~comment:"write barrier"
+          (Insn.Mov (sc2, Insn.Imm e.consts.stack_limit_cell));
+        emit e (Insn.Ldr (sc2, Insn.mk_addr ~offset:1 sc2));
+        emit e (Insn.Tst (sc2, Insn.Imm 1));
+        emit e (Insn.Bcond (Insn.Eq, skip));
+        emit e (Insn.Call (Insn.Builtin e.consts.interrupt_builtin, 1));
+        emit e (Insn.Label skip)
+      end
+    | Son.M_float ->
+      let addr =
+        if n_inputs = 3 then
+          mem_operand e n ~base_idx:0 ~offset ~scale ~sc_base:sc0 ~sc_index:sc1
+        else begin
+          let base = gpi e n 0 sc0 in
+          Insn.mk_addr ~offset base
+        end
+      in
+      let v = fp e (loc_of e (input e n value_idx)) fsc0 in
+      emit e (Insn.Str_f (addr, v)))
+  | Son.N_check { reason; cond; _ } ->
+    let group = Insn.group_of_reason reason in
+    emit_condition e ~prov:(check_prov group Insn.Role_condition) n;
+    emit_deopt_branch e ~cond ~reason ~fs:(Option.get nd.Son.fs)
+  | Son.N_soft_deopt reason ->
+    let group = Insn.group_of_reason reason in
+    emit e ~prov:(check_prov group Insn.Role_condition)
+      (Insn.Cmp (sc0, Insn.Reg sc0));
+    emit_deopt_branch e ~cond:Insn.Eq ~reason ~fs:(Option.get nd.Son.fs)
+  | Son.N_js_ldr_smi { offset; scale } ->
+    (* The ISA extension: load + Not-a-SMI check + untag in one
+       instruction; bailout is branch-free through REG_BA/REG_RE. *)
+    let fs = Option.get nd.Son.fs in
+    let dp = new_deopt e Insn.Not_a_smi fs in
+    let addr = mem_operand e n ~base_idx:0 ~offset ~scale ~sc_base:sc0 ~sc_index:sc1 in
+    def_gp e n (fun dst ->
+        emit e
+          ~prov:(check_prov Insn.G_not_smi Insn.Role_condition)
+          (Insn.Js_ldr_smi { dst; mem = addr; deopt = dp }))
+  | Son.N_js_chk_map { offset; expected } ->
+    let fs = Option.get nd.Son.fs in
+    let dp = new_deopt e Insn.Wrong_map fs in
+    let base = gpi e n 0 sc0 in
+    emit e
+      ~prov:(check_prov Insn.G_type Insn.Role_condition)
+      (Insn.Js_chk_map { mem = Insn.mk_addr ~offset base; expected; deopt = dp })
+  | Son.N_call_builtin { builtin; argc } ->
+    let moves =
+      List.init argc (fun i ->
+          { src = loc_of e (input e n i); dst = Regalloc.L_reg i })
+    in
+    parallel_moves e moves;
+    emit e (Insn.Call (Insn.Builtin builtin, argc));
+    if loc_of e n <> Regalloc.L_none then
+      parallel_moves e [ { src = Regalloc.L_reg 0; dst = loc_of e n } ]
+  | Son.N_stack_check ->
+    (* ldr limit; cmp; branch over the (never-executed) interrupt call. *)
+    let ok = fresh_label e in
+    emit e ~comment:"stack check" (Insn.Mov (sc0, Insn.Imm e.consts.stack_limit_cell));
+    emit e (Insn.Ldr (sc0, Insn.mk_addr ~offset:1 sc0));
+    emit e (Insn.Cmp (sc0, Insn.Imm 0));
+    emit e (Insn.Bcond (Insn.Ne, ok));
+    emit e (Insn.Call (Insn.Builtin e.consts.interrupt_builtin, 1));
+    emit e (Insn.Label ok)
+  | Son.N_call_js { target; argc } -> (
+    match target with
+    | None -> invalid_arg "Codegen: dynamic JS call must go through rt_call"
+    | Some fid ->
+      let moves =
+        List.init argc (fun i ->
+            { src = loc_of e (input e n i); dst = Regalloc.L_reg i })
+      in
+      parallel_moves e moves;
+      emit e (Insn.Call (Insn.Js_code fid, argc));
+      if loc_of e n <> Regalloc.L_none then
+        parallel_moves e [ { src = Regalloc.L_reg 0; dst = loc_of e n } ])
+
+(* ------------------------------------------------------------------ *)
+(* Blocks, phi moves, terminators                                      *)
+(* ------------------------------------------------------------------ *)
+
+let phis_of e b =
+  List.filter
+    (fun i -> match (Son.node e.g i).Son.op with Son.N_phi -> true | _ -> false)
+    (Son.block e.g b).Son.body
+
+let successors (blk : Son.block) =
+  match blk.Son.term with
+  | Son.T_goto t -> [ t ]
+  | Son.T_branch { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Son.T_return _ | Son.T_none -> []
+
+let emit_phi_moves e b =
+  let blk = Son.block e.g b in
+  let moves = ref [] in
+  List.iter
+    (fun s ->
+      let sblk = Son.block e.g s in
+      (* Index of b among s's preds; b may appear more than once. *)
+      List.iteri
+        (fun k p ->
+          if p = b then
+            List.iter
+              (fun phi ->
+                let phin = Son.node e.g phi in
+                if k < Array.length phin.Son.inputs then begin
+                  let v = phin.Son.inputs.(k) in
+                  if v >= 0 && loc_of e phi <> Regalloc.L_none then
+                    moves := { src = loc_of e v; dst = loc_of e phi } :: !moves
+                end)
+              (phis_of e s))
+        sblk.Son.preds)
+    (List.sort_uniq compare (successors blk));
+  (* Deduplicate identical moves from duplicate edges. *)
+  parallel_moves e (List.sort_uniq compare !moves)
+
+let emit_terminator e b ~next_block =
+  let blk = Son.block e.g b in
+  match blk.Son.term with
+  | Son.T_none -> ()
+  | Son.T_goto t -> if Some t <> next_block then emit e (Insn.B t)
+  | Son.T_return v ->
+    parallel_moves e [ { src = loc_of e v; dst = Regalloc.L_reg 0 } ];
+    (* Epilogue: restore the frame registers. *)
+    emit e ~comment:"pop fp" (Insn.Reload (sc0, 1));
+    emit e ~comment:"pop lr" (Insn.Reload (sc1, 2));
+    emit e Insn.Ret
+  | Son.T_branch { cond; if_true; if_false } ->
+    let cond_node = Son.node e.g cond in
+    let c =
+      match cond_node.Son.op with
+      | Son.N_cmp { cond = c; _ } -> c
+      | _ -> invalid_arg "Codegen: branch on non-compare node"
+    in
+    emit_condition e cond;
+    if Some if_false = next_block then emit e (Insn.Bcond (c, if_true))
+    else if Some if_true = next_block then
+      emit e (Insn.Bcond (Insn.negate_cond c, if_false))
+    else begin
+      emit e (Insn.Bcond (c, if_true));
+      emit e (Insn.B if_false)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Nodes whose every (transitive) value consumer is a check: the array
+   length feeding a bounds check, the map load feeding a map compare.
+   Their instructions carry check provenance — the ground truth the
+   paper's sampling window approximates. *)
+let check_only_nodes g =
+  let n = g.Son.n_nodes in
+  let value_users = Array.make n [] in
+  for b = 0 to g.Son.n_blocks - 1 do
+    let blk = Son.block g b in
+    List.iter
+      (fun i ->
+        Array.iter
+          (fun v -> if v >= 0 then value_users.(v) <- i :: value_users.(v))
+          (Son.node g i).Son.inputs)
+      blk.Son.body;
+    match blk.Son.term with
+    | Son.T_branch { cond; _ } -> value_users.(cond) <- -1 :: value_users.(cond)
+    | Son.T_return v -> value_users.(v) <- -1 :: value_users.(v)
+    | Son.T_none | Son.T_goto _ -> ()
+  done;
+  let group = Array.make n None in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if group.(i) = None then begin
+        let nd = Son.node g i in
+        let pure =
+          match nd.Son.op with
+          | Son.N_load _ | Son.N_int_binop _ | Son.N_smi_untag | Son.N_smi_tag
+          | Son.N_cmp _ ->
+            true
+          | _ -> false
+        in
+        if pure && value_users.(i) <> [] then begin
+          let groups =
+            List.filter_map
+              (fun u ->
+                if u < 0 then Some None (* terminator: main line *)
+                else begin
+                  match (Son.node g u).Son.op with
+                  | Son.N_check { reason; _ } ->
+                    Some (Some (Insn.group_of_reason reason))
+                  | _ -> Some group.(u)
+                end)
+              value_users.(i)
+          in
+          match groups with
+          | first :: rest
+            when first <> None && List.for_all (( = ) first) rest ->
+            group.(i) <- first;
+            changed := true
+          | _ -> ()
+        end
+      end
+    done
+  done;
+  group
+
+let generate ~code_id ~base_addr ~arch ~remove_deopt_branches ~consts g =
+  let alloc = Regalloc.allocate g in
+  let check_only = check_only_nodes g in
+  let e =
+    { g; alloc; arch; remove_deopt_branches; consts; out = []; next_label = g.Son.n_blocks;
+      deopts = []; n_deopts = 0; default_prov = Insn.Main_line }
+  in
+  (* Prologue: save the frame registers (V8 pushes fp/lr and loads the
+     frame marker), spill the closure (deopt metadata needs it), and on
+     the extended ISA set up the bailout-handler register. *)
+  emit e ~comment:"push fp" (Insn.Spill (1, sc0));
+  emit e ~comment:"push lr" (Insn.Spill (2, sc1));
+  emit e ~comment:"mov fp, sp" (Insn.Mov (sc0, Insn.Reg sc1));
+  emit e ~comment:"closure" (Insn.Spill (0, 0));
+  if Arch.has_smi_load arch then begin
+    emit e ~comment:"bailout handler" (Insn.Mov (sc0, Insn.Imm base_addr));
+    emit e (Insn.Msr (Insn.Reg_ba, sc0))
+  end;
+  let param_moves = ref [] in
+  for i = 0 to g.Son.n_nodes - 1 do
+    match (Son.node e.g i).Son.op with
+    | Son.N_param p when loc_of e i <> Regalloc.L_none ->
+      param_moves := { src = Regalloc.L_reg p; dst = loc_of e i } :: !param_moves
+    | _ -> ()
+  done;
+  parallel_moves e !param_moves;
+  for b = 0 to g.Son.n_blocks - 1 do
+    emit e (Insn.Label b);
+    List.iter
+      (fun n ->
+        (match check_only.(n) with
+        | Some grp ->
+          e.default_prov <- Insn.Check { group = grp; role = Insn.Role_condition }
+        | None -> e.default_prov <- Insn.Main_line);
+        emit_node e n;
+        e.default_prov <- Insn.Main_line)
+      (Son.block e.g b).Son.body;
+    emit_phi_moves e b;
+    let next_block = if b + 1 < g.Son.n_blocks then Some (b + 1) else None in
+    emit_terminator e b ~next_block
+  done;
+  Code.assemble ~code_id ~name:g.Son.fname ~arch
+    ~deopts:(Array.of_list (List.rev e.deopts))
+    ~gp_slots:alloc.Regalloc.gp_slots ~fp_slots:alloc.Regalloc.fp_slots
+    ~base_addr (List.rev e.out)

@@ -1,0 +1,34 @@
+(** Machine-code generation from the graph IR.
+
+    Expands composite nodes into arch-specific instruction sequences:
+    X64 folds memory operands into compare instructions (one-instruction
+    checks), ARM64 emits separate loads (two-instruction checks), and
+    [Arm64_smi_ext] lowers fused [N_js_ldr_smi] nodes to the paper's
+    single-instruction SMI loads with a branch-free bailout prologue
+    ([adrp/add/msr REG_BA], Fig 11).
+
+    Every instruction carries provenance: check conditions, deopt
+    branches, or main-line code — the ground truth against which the
+    paper's sampling window heuristic is evaluated.
+
+    [remove_deopt_branches] implements the paper's Fig 10 experiment:
+    condition computations are emitted but the conditional deopt
+    branches are not. *)
+
+type env_consts = {
+  true_word : int;
+  false_word : int;
+  undefined_word : int;
+  heap_number_map_ptr : int;
+  stack_limit_cell : int;   (** tagged pointer to the interrupt cell *)
+  interrupt_builtin : int;
+}
+
+val generate :
+  code_id:int ->
+  base_addr:int ->
+  arch:Arch.t ->
+  remove_deopt_branches:bool ->
+  consts:env_consts ->
+  Son.t ->
+  Code.t

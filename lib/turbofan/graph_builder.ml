@@ -1,0 +1,1472 @@
+type config = { arch : Arch.t; trust_elements_kind : bool; turboprop : bool }
+
+let default_config arch = { arch; trust_elements_kind = false; turboprop = false }
+
+exception Bailout of string
+
+let bailout fmt = Printf.ksprintf (fun m -> raise (Bailout m)) fmt
+
+(* Facts proven about an SSA value on the current path (TurboFan's
+   redundant-check elimination). *)
+type fact = { mutable f_smi : bool; mutable f_heap : bool; mutable f_map : int option }
+
+type env = {
+  e_regs : int array;
+  mutable e_acc : int;
+  mutable e_facts : (int, fact) Hashtbl.t;
+  mutable e_float : (int, int) Hashtbl.t;  (* tagged node -> float version *)
+}
+
+type st = {
+  cfg : config;
+  rt : Runtime.t;
+  f : Runtime.func_rt;
+  g : Son.t;
+  consts : (int, int) Hashtbl.t;
+  fconsts : (float, int) Hashtbl.t;
+  mutable ctx_node : int;  (* lazily created: closure's context *)
+  checked : (int, fact) Hashtbl.t;
+      (* facts established by an actual emitted check on the node; used
+         to decide which loop facts are safe to hoist *)
+}
+
+let heap st = st.rt.Runtime.heap
+
+(* ------------------------------------------------------------------ *)
+(* Constants and parameters                                            *)
+(* ------------------------------------------------------------------ *)
+
+let const st v =
+  match Hashtbl.find_opt st.consts v with
+  | Some n -> n
+  | None ->
+    let n = Son.add_floating st.g (Son.N_const v) [||] in
+    Hashtbl.replace st.consts v n;
+    n
+
+let fconst st v =
+  match Hashtbl.find_opt st.fconsts v with
+  | Some n -> n
+  | None ->
+    let n = Son.add_floating st.g (Son.N_fconst v) [||] in
+    Hashtbl.replace st.fconsts v n;
+    n
+
+let undef st = const st (Heap.undefined (heap st))
+let smi_const st v = const st (Value.smi v)
+
+(* ------------------------------------------------------------------ *)
+(* Facts                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_fact () = { f_smi = false; f_heap = false; f_map = None }
+
+let get_fact env n = Hashtbl.find_opt env.e_facts n
+
+let fact_of env n =
+  match Hashtbl.find_opt env.e_facts n with
+  | Some f -> f
+  | None ->
+    let f = fresh_fact () in
+    Hashtbl.replace env.e_facts n f;
+    f
+
+let record_fact st env n update =
+  if not st.cfg.turboprop then update (fact_of env n)
+
+let record_checked st n update =
+  let f =
+    match Hashtbl.find_opt st.checked n with
+    | Some f -> f
+    | None ->
+      let f = fresh_fact () in
+      Hashtbl.replace st.checked n f;
+      f
+  in
+  update f
+
+let statically_smi st n =
+  match (Son.node st.g n).Son.op with
+  | Son.N_const c -> Value.is_smi c
+  | Son.N_smi_add_checked | Son.N_smi_sub_checked | Son.N_smi_mul_checked
+  | Son.N_smi_div_checked | Son.N_smi_mod_checked | Son.N_smi_tag
+  | Son.N_smi_tag_checked ->
+    true
+  | _ -> false
+
+let known_smi st env n =
+  statically_smi st n
+  || (not st.cfg.turboprop
+     && match get_fact env n with Some f -> f.f_smi | None -> false)
+
+let known_heap st env n =
+  (match (Son.node st.g n).Son.op with
+  | Son.N_const c -> Value.is_pointer c
+  | _ -> false)
+  || (not st.cfg.turboprop
+     && match get_fact env n with Some f -> f.f_heap | None -> false)
+
+let known_map st env n =
+  match (Son.node st.g n).Son.op with
+  | Son.N_const c when Value.is_pointer c ->
+    Some (Heap.map_of (heap st) c).Heap.map_id
+  | _ ->
+    if st.cfg.turboprop then None
+    else begin
+      match get_fact env n with Some f -> f.f_map | None -> None
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Core emission helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let addr_off field = (2 * field) - 1
+
+let kind_of st n = (Son.node st.g n).Son.kind
+
+let load_field st blk ?(kind = Son.M_tagged) base field =
+  Son.add_node st.g blk (Son.N_load { offset = addr_off field; scale = 0; kind })
+    [| base |]
+
+let store_field st blk ?(kind = Son.M_tagged) base field v =
+  ignore
+    (Son.add_node st.g blk
+       (Son.N_store { offset = addr_off field; scale = 0; kind })
+       [| base; v |])
+
+let ensure_smi st env blk fs n =
+  if not (known_smi st env n) then begin
+    ignore
+      (Son.add_node st.g blk ~fs
+         (Son.N_check
+            { reason = Insn.Not_a_smi; ckind = Son.C_tst_imm 1; cond = Insn.Ne })
+         [| n |]);
+    record_fact st env n (fun f -> f.f_smi <- true);
+    record_checked st n (fun f -> f.f_smi <- true)
+  end
+
+let ensure_heap st env blk fs n =
+  if not (known_heap st env n) then begin
+    ignore
+      (Son.add_node st.g blk ~fs
+         (Son.N_check
+            { reason = Insn.Smi; ckind = Son.C_tst_imm 1; cond = Insn.Eq })
+         [| n |]);
+    record_fact st env n (fun f -> f.f_heap <- true);
+    record_checked st n (fun f -> f.f_heap <- true)
+  end
+
+let check_map st env blk fs n map_id =
+  if known_map st env n <> Some map_id then begin
+    ensure_heap st env blk fs n;
+    let map_ptr = (Heap.map_info_by_id (heap st) map_id).Heap.map_ptr in
+    if Arch.can_fold_memory_operand st.cfg.arch then
+      ignore
+        (Son.add_node st.g blk ~fs
+           (Son.N_check
+              { reason = Insn.Wrong_map; ckind = Son.C_cmp_mem (addr_off 0);
+                cond = Insn.Ne })
+           [| const st map_ptr; n |])
+    else begin
+      let m = load_field st blk n 0 in
+      ignore
+        (Son.add_node st.g blk ~fs
+           (Son.N_check
+              { reason = Insn.Wrong_map; ckind = Son.C_cmp_reg; cond = Insn.Ne })
+           [| m; const st map_ptr |])
+    end;
+    record_fact st env n (fun f ->
+        f.f_heap <- true;
+        f.f_map <- Some map_id);
+    record_checked st n (fun f ->
+        f.f_heap <- true;
+        f.f_map <- Some map_id)
+  end
+
+(* Instance-type check: load map, load its instance_type field, compare.
+   Used for primitive-method receivers where several maps share a type. *)
+let check_instance_type st env blk fs n itype =
+  ensure_heap st env blk fs n;
+  let m = load_field st blk n 0 in
+  let it = load_field st blk m 2 in
+  ignore
+    (Son.add_node st.g blk ~fs
+       (Son.N_check
+          { reason = Insn.Wrong_map; ckind = Son.C_cmp_reg; cond = Insn.Ne })
+       [| it; smi_const st (Heap.instance_type_code itype) |])
+
+let call_builtin st blk b args =
+  Son.add_node st.g blk
+    (Son.N_call_builtin { builtin = b; argc = Array.length args })
+    args
+
+(* Boxing a float: inline allocation (builtin with low charged cost)
+   followed by a raw payload store. *)
+let box_float st blk fnode =
+  let ptr = call_builtin st blk Builtins.id_rt_alloc_number [| undef st |] in
+  store_field st blk ~kind:Son.M_float ptr 1 fnode;
+  ptr
+
+let to_tagged st blk n =
+  match kind_of st n with
+  | Son.K_tagged | Son.K_bool -> n
+  | Son.K_float -> box_float st blk n
+  | Son.K_int32 -> Son.add_node st.g blk Son.N_smi_tag [| n |]
+
+(* Tagged-or-int32 value as a tagged SMI, emitting checks as needed. *)
+let to_smi_tagged st env blk fs n =
+  match kind_of st n with
+  | Son.K_int32 -> Son.add_node st.g blk Son.N_smi_tag [| n |]
+  | Son.K_bool -> bailout "boolean used in SMI arithmetic"
+  | Son.K_float -> bailout "internal: float reached SMI path"
+  | Son.K_tagged ->
+    ensure_smi st env blk fs n;
+    n
+
+let to_int32 st env blk fs n =
+  match kind_of st n with
+  | Son.K_int32 -> n
+  | Son.K_tagged ->
+    ensure_smi st env blk fs n;
+    Son.add_node st.g blk Son.N_smi_untag [| n |]
+  | Son.K_float -> Son.add_node st.g blk Son.N_float_to_int [| n |]
+  | Son.K_bool -> bailout "boolean in integer arithmetic"
+
+let hn_map_cache : (Heap.t * int) option ref = ref None
+
+let heap_number_map_id st =
+  (* The heap-number map id is stable; fetch it once via a probe value. *)
+  match !hn_map_cache with
+  | Some (h, id) when h == heap st -> id
+  | _ ->
+    let h = heap st in
+    let id = Heap.map_id_of_map_ptr h (Heap.load h (Heap.alloc_heap_number h 0.0) 0) in
+    hn_map_cache := Some (h, id);
+    id
+
+let to_float st env blk fs n =
+  match Hashtbl.find_opt env.e_float n with
+  | Some f -> f
+  | None ->
+    let result =
+      match kind_of st n with
+      | Son.K_float -> n
+      | Son.K_int32 -> Son.add_node st.g blk Son.N_int_to_float [| n |]
+      | Son.K_bool -> bailout "boolean in float arithmetic"
+      | Son.K_tagged ->
+        if known_smi st env n then begin
+          let u = Son.add_node st.g blk Son.N_smi_untag [| n |] in
+          Son.add_node st.g blk Son.N_int_to_float [| u |]
+        end
+        else begin
+          match known_map st env n with
+          | Some m when m = heap_number_map_id st ->
+            load_field st blk ~kind:Son.M_float n 1
+          | _ -> Son.add_node st.g blk ~fs Son.N_to_float [| n |]
+        end
+    in
+    Hashtbl.replace env.e_float n result;
+    result
+
+(* ------------------------------------------------------------------ *)
+(* Frame states                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Bytecode liveness (live-in per pc, registers + accumulator): dead
+   values are dropped from frame states, which both shrinks deopt
+   metadata and — as in V8 — shortens live ranges considerably. *)
+let compute_liveness (code : Bytecode.op array) n_regs =
+  let n = Array.length code in
+  let acc_idx = n_regs in
+  let live = Array.init n (fun _ -> Bytes.make (n_regs + 1) '\000') in
+  let succs pc =
+    match code.(pc) with
+    | Bytecode.Jump t -> [ t ]
+    | Bytecode.Jump_if_false t | Bytecode.Jump_if_true t -> [ pc + 1; t ]
+    | Bytecode.Return -> []
+    | _ -> if pc + 1 < n then [ pc + 1 ] else []
+  in
+  let reads pc =
+    match code.(pc) with
+    | Bytecode.Ldar r -> [ r ]
+    | Bytecode.Star _ -> [ acc_idx ]
+    | Bytecode.Mov (_, s) -> [ s ]
+    | Bytecode.Sta_global _ | Bytecode.Sta_context _ -> [ acc_idx ]
+    | Bytecode.Binop (_, r, _) | Bytecode.Test (_, r, _) -> [ r; acc_idx ]
+    | Bytecode.Neg_acc _ | Bytecode.Bitnot_acc _ | Bytecode.Not_acc
+    | Bytecode.Typeof_acc | Bytecode.Jump_if_false _ | Bytecode.Jump_if_true _
+    | Bytecode.Return ->
+      [ acc_idx ]
+    | Bytecode.Get_named (r, _, _) -> [ r ]
+    | Bytecode.Set_named (r, _, _) -> [ r; acc_idx ]
+    | Bytecode.Get_keyed (r, _) -> [ r; acc_idx ]
+    | Bytecode.Set_keyed (r, k, _) -> [ r; k; acc_idx ]
+    | Bytecode.Call (c, first, cnt, _) -> c :: List.init cnt (fun i -> first + i)
+    | Bytecode.Call_method (o, _, first, cnt, _) ->
+      o :: List.init cnt (fun i -> first + i)
+    | Bytecode.Construct (c, first, cnt, _) ->
+      c :: List.init cnt (fun i -> first + i)
+    | Bytecode.Lda_zero | Bytecode.Lda_smi _ | Bytecode.Lda_const _
+    | Bytecode.Lda_undefined | Bytecode.Lda_null | Bytecode.Lda_true
+    | Bytecode.Lda_false | Bytecode.Lda_global _ | Bytecode.Lda_context _
+    | Bytecode.Create_array _ | Bytecode.Create_object
+    | Bytecode.Create_closure _ | Bytecode.Jump _ ->
+      []
+  in
+  let writes pc =
+    match code.(pc) with
+    | Bytecode.Star r -> [ r ]
+    | Bytecode.Mov (d, _) -> [ d ]
+    | Bytecode.Lda_zero | Bytecode.Lda_smi _ | Bytecode.Lda_const _
+    | Bytecode.Lda_undefined | Bytecode.Lda_null | Bytecode.Lda_true
+    | Bytecode.Lda_false | Bytecode.Ldar _ | Bytecode.Lda_global _
+    | Bytecode.Lda_context _ | Bytecode.Binop _ | Bytecode.Test _
+    | Bytecode.Neg_acc _ | Bytecode.Bitnot_acc _ | Bytecode.Not_acc
+    | Bytecode.Typeof_acc | Bytecode.Get_named _ | Bytecode.Get_keyed _
+    | Bytecode.Create_array _ | Bytecode.Create_object
+    | Bytecode.Create_closure _ | Bytecode.Call _ | Bytecode.Call_method _
+    | Bytecode.Construct _ ->
+      [ acc_idx ]
+    | Bytecode.Sta_global _ | Bytecode.Sta_context _ | Bytecode.Set_named _
+    | Bytecode.Set_keyed _ | Bytecode.Jump _ | Bytecode.Jump_if_false _
+    | Bytecode.Jump_if_true _ | Bytecode.Return ->
+      []
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 200 do
+    changed := false;
+    incr rounds;
+    for pc = n - 1 downto 0 do
+      let cur = live.(pc) in
+      (* out = union of successors' live-in *)
+      let out = Bytes.make (n_regs + 1) '\000' in
+      List.iter
+        (fun s ->
+          if s < n then
+            for k = 0 to n_regs do
+              if Bytes.get live.(s) k <> '\000' then Bytes.set out k '\001'
+            done)
+        (succs pc);
+      List.iter (fun k -> if k <= n_regs then Bytes.set out k '\000') (writes pc);
+      List.iter (fun k -> if k <= n_regs then Bytes.set out k '\001') (reads pc);
+      if out <> cur then begin
+        live.(pc) <- out;
+        changed := true
+      end
+    done
+  done;
+  live
+
+let capture_fs (liveness : Bytes.t array) n_regs (env : env) pc :
+    Son.frame_state =
+  let lv = liveness.(pc) in
+  {
+    Son.fs_bc_pc = pc;
+    fs_regs =
+      Array.init (Array.length env.e_regs) (fun r ->
+          if Bytes.get lv r <> '\000' then env.e_regs.(r) else -1);
+    fs_acc = (if Bytes.get lv n_regs <> '\000' then env.e_acc else -1);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CFG pre-pass                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type cfg_info = {
+  starts : bool array;
+  block_index : int array;     (* pc -> block idx (dense over starts), -1 *)
+  block_pcs : int array;       (* block idx -> start pc *)
+  succs : int list array;      (* block idx -> successor block idxs *)
+  n_cblocks : int;
+  reachable : bool array;
+}
+
+let compute_cfg (code : Bytecode.op array) =
+  let n = Array.length code in
+  let starts = Array.make (n + 1) false in
+  starts.(0) <- true;
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Bytecode.Jump t | Bytecode.Jump_if_false t | Bytecode.Jump_if_true t ->
+        if t <= n then starts.(t) <- true;
+        if i + 1 <= n then starts.(i + 1) <- true
+      | Bytecode.Return -> if i + 1 <= n then starts.(i + 1) <- true
+      | _ -> ())
+    code;
+  let block_index = Array.make (n + 1) (-1) in
+  let pcs = ref [] in
+  let count = ref 0 in
+  for pc = 0 to n - 1 do
+    if starts.(pc) then begin
+      block_index.(pc) <- !count;
+      pcs := pc :: !pcs;
+      incr count
+    end
+  done;
+  let block_pcs = Array.of_list (List.rev !pcs) in
+  let n_cblocks = !count in
+  let succs = Array.make n_cblocks [] in
+  for b = 0 to n_cblocks - 1 do
+    let start = block_pcs.(b) in
+    let stop = if b + 1 < n_cblocks then block_pcs.(b + 1) else n in
+    (* Find the terminator: the last op of the range. *)
+    let last = stop - 1 in
+    let s =
+      match code.(last) with
+      | Bytecode.Jump t -> [ block_index.(t) ]
+      | Bytecode.Jump_if_false t | Bytecode.Jump_if_true t ->
+        [ block_index.(last + 1); block_index.(t) ]
+      | Bytecode.Return -> []
+      | _ -> if stop < n then [ block_index.(stop) ] else []
+    in
+    ignore start;
+    succs.(b) <- s
+  done;
+  let reachable = Array.make n_cblocks false in
+  let q = Queue.create () in
+  Queue.add 0 q;
+  reachable.(0) <- true;
+  while not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    List.iter
+      (fun s ->
+        if not reachable.(s) then begin
+          reachable.(s) <- true;
+          Queue.add s q
+        end)
+      succs.(b)
+  done;
+  { starts; block_index; block_pcs; succs; n_cblocks; reachable }
+
+(* ------------------------------------------------------------------ *)
+(* Environment merging                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let copy_env (e : env) =
+  {
+    e_regs = Array.copy e.e_regs;
+    e_acc = e.e_acc;
+    e_facts = Hashtbl.copy e.e_facts;
+    e_float = Hashtbl.copy e.e_float;
+  }
+
+let empty_tables (e : env) =
+  { e with e_facts = Hashtbl.create 16; e_float = Hashtbl.create 8 }
+
+let intersect_facts tables =
+  match tables with
+  | [] -> Hashtbl.create 16
+  | first :: rest ->
+    let out = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun n (f : fact) ->
+        let combined =
+          List.fold_left
+            (fun acc tbl ->
+              match acc with
+              | None -> None
+              | Some (a : fact) -> (
+                match Hashtbl.find_opt tbl n with
+                | None -> None
+                | Some (b : fact) ->
+                  Some
+                    {
+                      f_smi = a.f_smi && b.f_smi;
+                      f_heap = a.f_heap && b.f_heap;
+                      f_map = (if a.f_map = b.f_map then a.f_map else None);
+                    }))
+            (Some { f_smi = f.f_smi; f_heap = f.f_heap; f_map = f.f_map })
+            rest
+        in
+        match combined with
+        | Some c when c.f_smi || c.f_heap || c.f_map <> None ->
+          Hashtbl.replace out n c
+        | _ -> ())
+      first;
+    out
+
+(* Unify the value kind of phi inputs; conversion code is appended to the
+   predecessor block (before its terminator is emitted by codegen). *)
+let convert_in_block st (blk : Son.block) n target =
+  let k = kind_of st n in
+  if k = target then n
+  else begin
+    match (k, target) with
+    | Son.K_float, Son.K_tagged -> box_float st blk n
+    | Son.K_int32, Son.K_tagged -> Son.add_node st.g blk Son.N_smi_tag [| n |]
+    | Son.K_bool, Son.K_tagged -> n (* bools materialize as oddballs *)
+    | Son.K_int32, Son.K_float -> Son.add_node st.g blk Son.N_int_to_float [| n |]
+    | _ -> bailout "unsupported phi kind unification"
+  end
+
+let unify_kind kinds =
+  let norm = function Son.K_bool -> Son.K_tagged | k -> k in
+  match kinds with
+  | [] -> Son.K_tagged
+  | k :: rest ->
+    List.fold_left
+      (fun acc k -> if norm k = norm acc then acc else Son.K_tagged)
+      (norm k) (List.map norm rest)
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type pending_phi = { phi : int; slot : int (* reg index, -1 = acc *) }
+
+(* Loop-invariant facts about a loop-header phi slot, discovered by the
+   first build pass and seeded into the second.  Seeding a fact hoists
+   the corresponding check out of the loop: the second pass places guard
+   checks on the loop-entry edges (and on any backedge whose incoming
+   value no longer carries the fact) instead of re-checking every
+   iteration — TurboFan's loop-invariant check elimination. *)
+type seed = { s_smi : bool; s_heap : bool; s_map : int option }
+
+let build_pass cfg rt (f : Runtime.func_rt)
+    ~(seeds : (int * int, seed) Hashtbl.t) ~record_seeds =
+  let info = f.Runtime.info in
+  if info.Bytecode.context_slots > 0 then
+    bailout "function allocates a context";
+  if info.Bytecode.n_params > Insn.num_arg_regs - 2 then
+    bailout "too many parameters";
+  let code = info.Bytecode.code in
+  let fvec = f.Runtime.feedback in
+  let consts_tagged = Runtime.materialize_consts rt f in
+  let g = Son.create info.Bytecode.name in
+  let st =
+    { cfg; rt; f; g; consts = Hashtbl.create 32; fconsts = Hashtbl.create 8;
+      ctx_node = -1; checked = Hashtbl.create 32 }
+  in
+  let h = heap st in
+  let liveness = compute_liveness code info.Bytecode.n_regs in
+  let cfg_info = compute_cfg code in
+  let n_cb = cfg_info.n_cblocks in
+  (* Son blocks mirror CFG blocks 1:1 (same indexes). *)
+  let blocks = Array.init n_cb (fun _ -> Son.new_block g) in
+  (* Predecessors in deterministic order. *)
+  for b = 0 to n_cb - 1 do
+    if cfg_info.reachable.(b) then
+      List.iter
+        (fun s ->
+          if cfg_info.reachable.(s) then begin
+            let sb = blocks.(s) in
+            sb.Son.preds <- sb.Son.preds @ [ b ]
+          end)
+        cfg_info.succs.(b)
+  done;
+  let is_loop_header = Array.make n_cb false in
+  for b = 0 to n_cb - 1 do
+    if cfg_info.reachable.(b) then begin
+      List.iter (fun p -> if p >= b then is_loop_header.(b) <- true)
+        blocks.(b).Son.preds;
+      blocks.(b).Son.is_loop_header <- is_loop_header.(b)
+    end
+  done;
+
+  let exit_envs : env option array = Array.make n_cb None in
+  let pending : pending_phi list array = Array.make n_cb [] in
+
+  (* Entry environment for block 0. *)
+  let entry_env () =
+    let u = undef st in
+    let regs = Array.make info.Bytecode.n_regs u in
+    regs.(0) <- Son.add_floating g (Son.N_param 1) [||] (* this *);
+    for i = 0 to info.Bytecode.n_params - 1 do
+      regs.(1 + i) <- Son.add_floating g (Son.N_param (2 + i)) [||]
+    done;
+    { e_regs = regs; e_acc = u; e_facts = Hashtbl.create 16;
+      e_float = Hashtbl.create 8 }
+  in
+
+  let ctx_node blk =
+    if st.ctx_node >= 0 then st.ctx_node
+    else begin
+      let closure = Son.add_floating g (Son.N_param 0) [||] in
+      let c = load_field st blk closure Heap.function_context_field in
+      st.ctx_node <- c;
+      c
+    end
+  in
+
+  (* Compute the entry env of block b from predecessors. *)
+  let entry_env_of b =
+    let blk = blocks.(b) in
+    let preds = blk.Son.preds in
+    let forward = List.filter (fun p -> p < b) preds in
+    let n_preds = List.length preds in
+    match (preds, is_loop_header.(b)) with
+    | [], false -> if b = 0 then Some (entry_env ()) else None
+    | [ p ], false -> Option.map copy_env exit_envs.(p)
+    | _, false ->
+      (* All preds are forward and processed. *)
+      let envs =
+        List.map
+          (fun p ->
+            match exit_envs.(p) with
+            | Some e -> (p, e)
+            | None -> bailout "internal: forward pred unprocessed")
+          preds
+      in
+      let facts =
+        if st.cfg.turboprop then Hashtbl.create 4
+        else intersect_facts (List.map (fun (_, e) -> e.e_facts) envs)
+      in
+      let merge_value slot values =
+        let distinct = List.sort_uniq compare (List.map snd values) in
+        match distinct with
+        | [ v ] -> v
+        | _ ->
+          let target = unify_kind (List.map (fun (_, v) -> kind_of st v) values) in
+          let inputs =
+            List.map
+              (fun (p, v) -> convert_in_block st blocks.(p) v target)
+              values
+          in
+          let phi =
+            Son.add_floating g ~kind:target Son.N_phi (Array.of_list inputs)
+          in
+          Son.prepend_phi g blk phi;
+          ignore slot;
+          (* The phi inherits facts common to every input. *)
+          if (not st.cfg.turboprop) && target = Son.K_tagged then begin
+            let all pred = List.for_all (fun ((p, v) : int * int) ->
+                match exit_envs.(p) with
+                | Some pe -> pred pe v
+                | None -> false)
+                values
+            in
+            let f_smi = all (fun pe v -> known_smi st pe v) in
+            let f_heap = all (fun pe v -> known_heap st pe v) in
+            let maps =
+              List.map
+                (fun (p, v) ->
+                  match exit_envs.(p) with
+                  | Some pe -> known_map st pe v
+                  | None -> None)
+                values
+            in
+            let f_map =
+              match maps with
+              | (Some m) :: rest when List.for_all (( = ) (Some m)) rest ->
+                Some m
+              | _ -> None
+            in
+            if f_smi || f_heap || f_map <> None then
+              Hashtbl.replace facts phi { f_smi; f_heap = f_heap || f_map <> None; f_map }
+          end;
+          phi
+      in
+      let regs =
+        Array.init info.Bytecode.n_regs (fun r ->
+            merge_value r (List.map (fun (p, e) -> (p, e.e_regs.(r))) envs))
+      in
+      let acc = merge_value (-1) (List.map (fun (p, e) -> (p, e.e_acc)) envs) in
+      Some { e_regs = regs; e_acc = acc; e_facts = facts; e_float = Hashtbl.create 8 }
+    | _, true ->
+      (* Loop header: phis for everything; backedge inputs patched when
+         the backedge predecessors finish. *)
+      let fwd_envs =
+        List.filter_map (fun p -> Option.map (fun e -> (p, e)) exit_envs.(p)) forward
+      in
+      if fwd_envs = [] then None
+      else begin
+        let mk_phi slot =
+          let values =
+            List.map
+              (fun (p, (e : env)) ->
+                (p, if slot < 0 then e.e_acc else e.e_regs.(slot)))
+              fwd_envs
+          in
+          let target = unify_kind (List.map (fun (_, v) -> kind_of st v) values) in
+          let inputs = Array.make n_preds (-1) in
+          List.iteri
+            (fun i p ->
+              match List.assoc_opt p values with
+              | Some v when p < b ->
+                inputs.(i) <- convert_in_block st blocks.(p) v target
+              | _ -> ())
+            preds;
+          (* Fill backedge slots with the first forward input for now. *)
+          let first_fwd =
+            let rec find i = if inputs.(i) >= 0 then inputs.(i) else find (i + 1) in
+            find 0
+          in
+          Array.iteri (fun i v -> if v < 0 then inputs.(i) <- first_fwd) inputs;
+          let phi = Son.add_floating g ~kind:target Son.N_phi inputs in
+          Son.prepend_phi g blk phi;
+          pending.(b) <- { phi; slot } :: pending.(b);
+          phi
+        in
+        let regs = Array.init info.Bytecode.n_regs (fun r -> mk_phi r) in
+        let acc = mk_phi (-1) in
+        let env =
+          { e_regs = regs; e_acc = acc; e_facts = Hashtbl.create 16;
+            e_float = Hashtbl.create 8 }
+        in
+        (* Second pass: seed loop-invariant facts onto the phis and
+           guard them on the loop-entry edges. *)
+        if (not record_seeds) && not st.cfg.turboprop then begin
+          let header_pc = cfg_info.block_pcs.(b) in
+          List.iter
+            (fun { phi; slot } ->
+              match Hashtbl.find_opt seeds (b, slot) with
+              | None -> ()
+              | Some sd ->
+                if kind_of st phi = Son.K_tagged
+                   && (sd.s_smi || sd.s_heap || sd.s_map <> None)
+                then begin
+                  (* Entry guards in each forward predecessor. *)
+                  List.iter
+                    (fun (p, (pe : env)) ->
+                      let v = if slot < 0 then pe.e_acc else pe.e_regs.(slot) in
+                      let fs = capture_fs liveness info.Bytecode.n_regs pe header_pc in
+                      if sd.s_smi then ensure_smi st pe blocks.(p) fs v;
+                      (match sd.s_map with
+                      | Some m -> check_map st pe blocks.(p) fs v m
+                      | None ->
+                        if sd.s_heap then ensure_heap st pe blocks.(p) fs v))
+                    fwd_envs;
+                  Hashtbl.replace env.e_facts phi
+                    { f_smi = sd.s_smi; f_heap = sd.s_heap || sd.s_map <> None;
+                      f_map = sd.s_map }
+                end)
+            pending.(b)
+        end;
+        Some env
+      end
+  in
+
+  (* Patch loop-header phis once a backedge predecessor [p] has an exit
+     env. *)
+  let patch_backedges p =
+    match exit_envs.(p) with
+    | None -> ()
+    | Some e ->
+      List.iter
+        (fun header ->
+          if header <= p && cfg_info.reachable.(header) && is_loop_header.(header)
+          then begin
+            let hblk = blocks.(header) in
+            let positions =
+              List.mapi (fun i q -> (i, q)) hblk.Son.preds
+              |> List.filter (fun (_, q) -> q = p)
+              |> List.map fst
+            in
+            if positions <> [] then
+              List.iter
+                (fun { phi; slot } ->
+                  let v = if slot < 0 then e.e_acc else e.e_regs.(slot) in
+                  let phi_node = Son.node g phi in
+                  (if record_seeds && phi_node.Son.kind = Son.K_tagged then begin
+                     (* Only facts the loop body actually speculated on
+                        (an emitted check against the phi) are safe to
+                        hoist; intersect with what this backedge
+                        provides. *)
+                     let wanted =
+                       match Hashtbl.find_opt st.checked phi with
+                       | Some f -> f
+                       | None -> fresh_fact ()
+                     in
+                     let here =
+                       { s_smi = wanted.f_smi && known_smi st e v;
+                         s_heap = wanted.f_heap && known_heap st e v;
+                         s_map =
+                           (match wanted.f_map with
+                           | Some m when known_map st e v = Some m -> Some m
+                           | _ -> None) }
+                     in
+                     match Hashtbl.find_opt seeds (header, slot) with
+                     | None -> Hashtbl.replace seeds (header, slot) here
+                     | Some prev ->
+                       Hashtbl.replace seeds (header, slot)
+                         { s_smi = prev.s_smi && here.s_smi;
+                           s_heap = prev.s_heap && here.s_heap;
+                           s_map =
+                             (if prev.s_map = here.s_map then prev.s_map
+                              else None) }
+                   end
+                   else if (not record_seeds) && not st.cfg.turboprop then begin
+                     (* Guard any seeded fact this backedge value has lost. *)
+                     match Hashtbl.find_opt seeds (header, slot) with
+                     | None -> ()
+                     | Some sd ->
+                       let header_pc = cfg_info.block_pcs.(header) in
+                       let fs = capture_fs liveness info.Bytecode.n_regs e header_pc in
+                       if sd.s_smi then ensure_smi st e blocks.(p) fs v;
+                       (match sd.s_map with
+                       | Some m -> check_map st e blocks.(p) fs v m
+                       | None ->
+                         if sd.s_heap then ensure_heap st e blocks.(p) fs v)
+                   end);
+                  let v' = convert_in_block st blocks.(p) v phi_node.Son.kind in
+                  List.iter (fun pos -> phi_node.Son.inputs.(pos) <- v') positions)
+                pending.(header)
+          end)
+        cfg_info.succs.(p)
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Per-op lowering                                                    *)
+  (* ---------------------------------------------------------------- *)
+  let uninit slot = Feedback.is_uninitialized fvec slot in
+  let soft_deopt env blk fs =
+    ignore
+      (Son.add_node g blk ~fs (Son.N_soft_deopt Insn.Insufficient_feedback) [||]);
+    env.e_acc <- undef st
+  in
+  let name_of_const c =
+    match info.Bytecode.consts.(c) with
+    | Bytecode.C_str s -> s
+    | Bytecode.C_num _ -> bailout "numeric constant used as property name"
+  in
+
+  let lower_arith env blk fs op a b slot =
+    match Feedback.binop_type fvec slot with
+    | Feedback.Ot_none ->
+      soft_deopt env blk fs;
+      env.e_acc
+    | Feedback.Ot_smi
+      when kind_of st a <> Son.K_float && kind_of st b <> Son.K_float -> (
+      let at = to_smi_tagged st env blk fs a in
+      let bt = to_smi_tagged st env blk fs b in
+      match op with
+      | Ast.Add -> Son.add_node g blk ~fs Son.N_smi_add_checked [| at; bt |]
+      | Ast.Sub -> Son.add_node g blk ~fs Son.N_smi_sub_checked [| at; bt |]
+      | Ast.Mul -> Son.add_node g blk ~fs Son.N_smi_mul_checked [| at; bt |]
+      | Ast.Div -> Son.add_node g blk ~fs Son.N_smi_div_checked [| at; bt |]
+      | Ast.Mod -> Son.add_node g blk ~fs Son.N_smi_mod_checked [| at; bt |]
+      | _ -> bailout "internal: lower_arith on non-arith op")
+    | Feedback.Ot_smi | Feedback.Ot_number ->
+      let fa = to_float st env blk fs a in
+      let fb = to_float st env blk fs b in
+      let fop =
+        match op with
+        | Ast.Add -> Insn.Fadd
+        | Ast.Sub -> Insn.Fsub
+        | Ast.Mul -> Insn.Fmul
+        | Ast.Div -> Insn.Fdiv
+        | Ast.Mod -> Insn.Fadd (* handled below *)
+        | _ -> bailout "internal: lower_arith on non-arith op"
+      in
+      if op = Ast.Mod then
+        (* Float modulo has no machine instruction: runtime call. *)
+        call_builtin st blk Builtins.id_rt_binop
+          [| undef st; smi_const st (Builtins.binop_code op);
+             to_tagged st blk a; to_tagged st blk b |]
+      else Son.add_node g blk (Son.N_float_binop fop) [| fa; fb |]
+    | Feedback.Ot_string | Feedback.Ot_any ->
+      call_builtin st blk Builtins.id_rt_binop
+        [| undef st; smi_const st (Builtins.binop_code op);
+           to_tagged st blk a; to_tagged st blk b |]
+  in
+
+  let lower_bitop env blk fs op a b slot =
+    match Feedback.binop_type fvec slot with
+    | Feedback.Ot_none ->
+      soft_deopt env blk fs;
+      env.e_acc
+    | Feedback.Ot_smi | Feedback.Ot_number ->
+      let ai = to_int32 st env blk fs a in
+      let bi = to_int32 st env blk fs b in
+      let alu =
+        match op with
+        | Ast.Bit_and -> Insn.And
+        | Ast.Bit_or -> Insn.Orr
+        | Ast.Bit_xor -> Insn.Eor
+        | Ast.Shl -> Insn.Lsl
+        | Ast.Shr -> Insn.Asr
+        | Ast.Ushr -> Insn.Lsr
+        | _ -> bailout "internal: lower_bitop on non-bit op"
+      in
+      let r = Son.add_node g blk (Son.N_int_binop alu) [| ai; bi |] in
+      (match op with
+      | Ast.Shl | Ast.Ushr ->
+        Son.add_node g blk ~fs Son.N_smi_tag_checked [| r |]
+      | _ -> Son.add_node g blk Son.N_smi_tag [| r |])
+    | Feedback.Ot_string | Feedback.Ot_any ->
+      call_builtin st blk Builtins.id_rt_binop
+        [| undef st; smi_const st (Builtins.binop_code op);
+           to_tagged st blk a; to_tagged st blk b |]
+  in
+
+  let cond_of_cmp (op : Ast.binop) =
+    match op with
+    | Ast.Lt -> Insn.Lt
+    | Ast.Le -> Insn.Le
+    | Ast.Gt -> Insn.Gt
+    | Ast.Ge -> Insn.Ge
+    | Ast.Eq | Ast.Strict_eq -> Insn.Eq
+    | Ast.Neq | Ast.Strict_neq -> Insn.Ne
+    | _ -> bailout "internal: cond_of_cmp"
+  in
+
+  let lower_test env blk fs op a b slot =
+    let generic () =
+      call_builtin st blk Builtins.id_rt_compare
+        [| undef st; smi_const st (Builtins.binop_code op);
+           to_tagged st blk a; to_tagged st blk b |]
+    in
+    match Feedback.compare_type fvec slot with
+    | Feedback.Ot_none ->
+      soft_deopt env blk fs;
+      env.e_acc
+    | Feedback.Ot_smi
+      when kind_of st a <> Son.K_float && kind_of st b <> Son.K_float ->
+      let at = to_smi_tagged st env blk fs a in
+      let bt = to_smi_tagged st env blk fs b in
+      Son.add_node g blk
+        (Son.N_cmp { ckind = Son.C_cmp_reg; cond = cond_of_cmp op })
+        [| at; bt |]
+    | Feedback.Ot_smi | Feedback.Ot_number -> (
+      match op with
+      | Ast.Eq | Ast.Neq | Ast.Strict_eq | Ast.Strict_neq | Ast.Lt | Ast.Le
+      | Ast.Gt | Ast.Ge ->
+        let fa = to_float st env blk fs a in
+        let fb = to_float st env blk fs b in
+        Son.add_node g blk
+          (Son.N_cmp { ckind = Son.C_fcmp; cond = cond_of_cmp op })
+          [| fa; fb |]
+      | _ -> generic ())
+    | Feedback.Ot_string | Feedback.Ot_any -> generic ()
+  in
+
+  (* Branch condition: a compare node suitable for flag fusion. *)
+  let branch_cond env blk _fs v =
+    match kind_of st v with
+    | Son.K_bool -> v
+    | Son.K_int32 ->
+      Son.add_node g blk (Son.N_cmp { ckind = Son.C_cmp_imm 0; cond = Insn.Ne })
+        [| v |]
+    | Son.K_tagged when known_smi st env v ->
+      Son.add_node g blk (Son.N_cmp { ckind = Son.C_cmp_imm 0; cond = Insn.Ne })
+        [| v |]
+    | Son.K_tagged | Son.K_float ->
+      let tv = to_tagged st blk v in
+      let b = call_builtin st blk Builtins.id_rt_to_boolean [| undef st; tv |] in
+      Son.add_node g blk (Son.N_cmp { ckind = Son.C_cmp_reg; cond = Insn.Ne })
+        [| b; const st (Heap.false_value h) |]
+  in
+
+  (* Property-slot load below a verified map. *)
+  let load_prop_slot blk obj (minfo : Heap.map_info) slot =
+    match minfo.Heap.itype with
+    | Heap.It_array ->
+      let props = load_field st blk obj Heap.array_props_field in
+      load_field st blk props (Heap.elements_header + slot)
+    | _ ->
+      if slot < Heap.inline_slots then
+        load_field st blk obj (Heap.object_inline_base + slot)
+      else begin
+        let props = load_field st blk obj Heap.object_props_field in
+        load_field st blk props (Heap.elements_header + slot - Heap.inline_slots)
+      end
+  in
+
+  let lower_get_named env blk fs obj name slot =
+    if uninit slot then begin
+      soft_deopt env blk fs;
+      env.e_acc
+    end
+    else begin
+      match Feedback.prop_entries fvec slot with
+      | Some [ (map_id, site) ] -> (
+        let minfo = Heap.map_info_by_id h map_id in
+        check_map st env blk fs obj map_id;
+        match site with
+        | Feedback.Own s -> load_prop_slot blk obj minfo s
+        | Feedback.Proto { holder; slot = s } ->
+          let holder_node = const st holder in
+          load_prop_slot blk holder_node (Heap.map_of h holder) s
+        | Feedback.Length ->
+          let l = load_field st blk obj Heap.array_length_field in
+          record_fact st env l (fun f -> f.f_smi <- true);
+          l
+        | Feedback.Transition _ -> bailout "transition site on a load")
+      | Some _ | None ->
+        (* Polymorphic or megamorphic: generic runtime path. *)
+        call_builtin st blk Builtins.id_rt_get_named
+          [| undef st; to_tagged st blk obj; const st (Heap.intern h name) |]
+    end
+  in
+
+  let generic_set_named blk obj name v =
+    ignore
+      (call_builtin st blk Builtins.id_rt_set_named
+         [| undef st; to_tagged st blk obj; const st (Heap.intern h name);
+            to_tagged st blk v |])
+  in
+
+  let lower_set_named env blk fs obj name slot v =
+    if uninit slot then soft_deopt env blk fs
+    else begin
+      match Feedback.prop_entries fvec slot with
+      | Some [ (map_id, Feedback.Own s) ]
+        when (Heap.map_info_by_id h map_id).Heap.itype <> Heap.It_array
+             && s < Heap.inline_slots ->
+        check_map st env blk fs obj map_id;
+        store_field st blk obj (Heap.object_inline_base + s) (to_tagged st blk v)
+      | Some [ (old_map, Feedback.Transition { new_map; slot = s }) ]
+        when (Heap.map_info_by_id h new_map).Heap.itype <> Heap.It_array
+             && s < Heap.inline_slots ->
+        check_map st env blk fs obj old_map;
+        let new_ptr = (Heap.map_info_by_id h new_map).Heap.map_ptr in
+        store_field st blk obj 0 (const st new_ptr);
+        store_field st blk obj (Heap.object_inline_base + s) (to_tagged st blk v);
+        record_fact st env obj (fun f -> f.f_map <- Some new_map)
+      | Some _ | None -> generic_set_named blk obj name v
+    end
+  in
+
+  let bounds_check env blk fs obj key =
+    if Arch.can_fold_memory_operand st.cfg.arch then
+      ignore
+        (Son.add_node g blk ~fs
+           (Son.N_check
+              { reason = Insn.Out_of_bounds;
+                ckind = Son.C_cmp_mem (addr_off Heap.array_length_field);
+                cond = Insn.Hs })
+           [| key; obj |])
+    else begin
+      let len = load_field st blk obj Heap.array_length_field in
+      ignore
+        (Son.add_node g blk ~fs
+           (Son.N_check
+              { reason = Insn.Out_of_bounds; ckind = Son.C_cmp_reg;
+                cond = Insn.Hs })
+           [| key; len |]);
+      record_fact st env len (fun f -> f.f_smi <- true)
+    end
+  in
+
+  let lower_get_keyed env blk fs obj key slot =
+    if uninit slot then begin
+      soft_deopt env blk fs;
+      env.e_acc
+    end
+    else begin
+      match Feedback.elem_info fvec slot with
+      | Some ([ map_id ], true) -> (
+        let minfo = Heap.map_info_by_id h map_id in
+        match minfo.Heap.elements_kind with
+        | None ->
+          call_builtin st blk Builtins.id_rt_get_keyed
+            [| undef st; to_tagged st blk obj; to_tagged st blk key |]
+        | Some ek ->
+          let key = to_smi_tagged st env blk fs key in
+          check_map st env blk fs obj map_id;
+          bounds_check env blk fs obj key;
+          let elements = load_field st blk obj Heap.array_elements_field in
+          (match ek with
+          | Heap.Packed_smi ->
+            let v =
+              Son.add_node g blk
+                (Son.N_load
+                   { offset = addr_off Heap.elements_header; scale = 1;
+                     kind = Son.M_tagged })
+                [| elements; key |]
+            in
+            if st.cfg.trust_elements_kind then
+              record_fact st env v (fun f -> f.f_smi <- true);
+            v
+          | Heap.Packed_double ->
+            Son.add_node g blk
+              (Son.N_load
+                 { offset = addr_off Heap.elements_header; scale = 2;
+                   kind = Son.M_float })
+              [| elements; key |]
+          | Heap.Packed_tagged ->
+            Son.add_node g blk
+              (Son.N_load
+                 { offset = addr_off Heap.elements_header; scale = 1;
+                   kind = Son.M_tagged })
+              [| elements; key |]))
+      | Some _ | None ->
+        call_builtin st blk Builtins.id_rt_get_keyed
+          [| undef st; to_tagged st blk obj; to_tagged st blk key |]
+    end
+  in
+
+  let lower_set_keyed env blk fs obj key v slot =
+    let generic () =
+      ignore
+        (call_builtin st blk Builtins.id_rt_set_keyed
+           [| undef st; to_tagged st blk obj; to_tagged st blk key;
+              to_tagged st blk v |])
+    in
+    if uninit slot then soft_deopt env blk fs
+    else begin
+      match Feedback.elem_info fvec slot with
+      | Some ([ map_id ], true) -> (
+        let minfo = Heap.map_info_by_id h map_id in
+        match minfo.Heap.elements_kind with
+        | None -> generic ()
+        | Some ek ->
+          let key = to_smi_tagged st env blk fs key in
+          check_map st env blk fs obj map_id;
+          bounds_check env blk fs obj key;
+          let elements = load_field st blk obj Heap.array_elements_field in
+          (match ek with
+          | Heap.Packed_smi ->
+            let vt = to_smi_tagged st env blk fs v in
+            ignore
+              (Son.add_node g blk
+                 (Son.N_store
+                    { offset = addr_off Heap.elements_header; scale = 1;
+                      kind = Son.M_tagged })
+                 [| elements; key; vt |])
+          | Heap.Packed_double ->
+            let fv = to_float st env blk fs v in
+            ignore
+              (Son.add_node g blk
+                 (Son.N_store
+                    { offset = addr_off Heap.elements_header; scale = 2;
+                      kind = Son.M_float })
+                 [| elements; key; fv |])
+          | Heap.Packed_tagged ->
+            ignore
+              (Son.add_node g blk
+                 (Son.N_store
+                    { offset = addr_off Heap.elements_header; scale = 1;
+                      kind = Son.M_tagged })
+                 [| elements; key; to_tagged st blk v |])))
+      | Some _ | None -> generic ()
+    end
+  in
+
+  let js_args env first n = Array.init n (fun i -> env.e_regs.(first + i)) in
+
+  let check_callee_fid env blk fs callee fid =
+    check_map st env blk fs callee (Heap.function_map_id h);
+    let id_node = load_field st blk callee Heap.function_id_field in
+    ignore
+      (Son.add_node g blk ~fs
+         (Son.N_check
+            { reason = Insn.Wrong_value; ckind = Son.C_cmp_reg; cond = Insn.Ne })
+         [| id_node; smi_const st fid |])
+  in
+
+  let generic_call blk callee this args =
+    if Array.length args > 5 then bailout "too many arguments for generic call";
+    let inputs =
+      Array.concat
+        [ [| undef st; to_tagged st blk callee; this |];
+          Array.map (fun a -> to_tagged st blk a) args ]
+    in
+    call_builtin st blk Builtins.id_rt_call inputs
+  in
+
+  let lower_call env blk fs callee this args slot =
+    if uninit slot then begin
+      soft_deopt env blk fs;
+      env.e_acc
+    end
+    else begin
+      match Feedback.call_target fvec slot with
+      | Some (fid, _) when fid >= Runtime.builtin_base ->
+        (* Direct builtin call; verify the callee function identity. *)
+        check_callee_fid env blk fs callee fid;
+        let inputs =
+          Array.concat
+            [ [| this |]; Array.map (fun a -> to_tagged st blk a) args ]
+        in
+        if Array.length inputs > Insn.num_arg_regs then
+          bailout "too many builtin arguments";
+        call_builtin st blk (fid - Runtime.builtin_base) inputs
+      | Some (fid, _) ->
+        check_callee_fid env blk fs callee fid;
+        let inputs =
+          Array.concat
+            [ [| to_tagged st blk callee; this |];
+              Array.map (fun a -> to_tagged st blk a) args ]
+        in
+        if Array.length inputs > Insn.num_arg_regs then
+          bailout "too many call arguments";
+        Son.add_node g blk
+          (Son.N_call_js { target = Some fid; argc = Array.length inputs })
+          inputs
+      | None -> generic_call blk callee this args
+    end
+  in
+
+  let lower_call_method env blk fs recv name args load_slot =
+    let call_slot = load_slot + 1 in
+    let generic () =
+      if Array.length args > 5 then bailout "too many method arguments";
+      let inputs =
+        Array.concat
+          [ [| undef st; to_tagged st blk recv; const st (Heap.intern h name) |];
+            Array.map (fun a -> to_tagged st blk a) args ]
+      in
+      call_builtin st blk Builtins.id_rt_call_method inputs
+    in
+    match Feedback.call_target fvec call_slot with
+    | Some (fid, fobj) when fid >= Runtime.builtin_base -> (
+      let b = fid - Runtime.builtin_base in
+      let is_string_m = Builtins.string_method name = Some b in
+      let is_array_m = Builtins.array_method name = Some b in
+      if is_string_m || is_array_m then begin
+        check_instance_type st env blk fs recv
+          (if is_string_m then Heap.It_string else Heap.It_array);
+        let inputs =
+          Array.concat
+            [ [| to_tagged st blk recv |];
+              Array.map (fun a -> to_tagged st blk a) args ]
+        in
+        if Array.length inputs > Insn.num_arg_regs then
+          bailout "too many builtin arguments";
+        call_builtin st blk b inputs
+      end
+      else begin
+        match Feedback.prop_entries fvec load_slot with
+        | Some [ (_, _) ] ->
+          let m = lower_get_named env blk fs recv name load_slot in
+          ignore fobj;
+          ignore m;
+          let inputs =
+            Array.concat
+              [ [| to_tagged st blk recv |];
+                Array.map (fun a -> to_tagged st blk a) args ]
+          in
+          (* Guard the loaded method's identity before calling direct. *)
+          ignore
+            (Son.add_node g blk ~fs
+               (Son.N_check
+                  { reason = Insn.Wrong_value; ckind = Son.C_cmp_reg;
+                    cond = Insn.Ne })
+               [| m; const st fobj |]);
+          if Array.length inputs > Insn.num_arg_regs then
+            bailout "too many builtin arguments";
+          call_builtin st blk b inputs
+        | _ -> generic ()
+      end)
+    | Some (fid, fobj) -> (
+      match Feedback.prop_entries fvec load_slot with
+      | Some [ (_, _) ] ->
+        let m = lower_get_named env blk fs recv name load_slot in
+        ignore
+          (Son.add_node g blk ~fs
+             (Son.N_check
+                { reason = Insn.Wrong_value; ckind = Son.C_cmp_reg;
+                  cond = Insn.Ne })
+             [| m; const st fobj |]);
+        let inputs =
+          Array.concat
+            [ [| m; to_tagged st blk recv |];
+              Array.map (fun a -> to_tagged st blk a) args ]
+        in
+        if Array.length inputs > Insn.num_arg_regs then
+          bailout "too many call arguments";
+        Son.add_node g blk
+          (Son.N_call_js { target = Some fid; argc = Array.length inputs })
+          inputs
+      | _ -> generic ())
+    | None ->
+      if uninit call_slot then begin
+        soft_deopt env blk fs;
+        env.e_acc
+      end
+      else generic ()
+  in
+
+  (* ---------------------------------------------------------------- *)
+  (* Block processing                                                   *)
+  (* ---------------------------------------------------------------- *)
+  let n_ops = Array.length code in
+  for b = 0 to n_cb - 1 do
+    if cfg_info.reachable.(b) then begin
+      match entry_env_of b with
+      | None -> ()
+      | Some env ->
+        let blk = blocks.(b) in
+        (* V8 places interrupt/stack checks at function entry and at
+           loop back-edges. *)
+        if b = 0 || is_loop_header.(b) then
+          ignore (Son.add_node g blk Son.N_stack_check [||]);
+        let start = cfg_info.block_pcs.(b) in
+        let stop = if b + 1 < n_cb then cfg_info.block_pcs.(b + 1) else n_ops in
+        let terminated = ref false in
+        let pc = ref start in
+        while not !terminated && !pc < stop do
+          let op = code.(!pc) in
+          let fs = capture_fs liveness info.Bytecode.n_regs env !pc in
+          (match op with
+          | Bytecode.Lda_zero -> env.e_acc <- smi_const st 0
+          | Bytecode.Lda_smi v -> env.e_acc <- smi_const st v
+          | Bytecode.Lda_const i -> env.e_acc <- const st consts_tagged.(i)
+          | Bytecode.Lda_undefined -> env.e_acc <- undef st
+          | Bytecode.Lda_null -> env.e_acc <- const st (Heap.null_value h)
+          | Bytecode.Lda_true -> env.e_acc <- const st (Heap.true_value h)
+          | Bytecode.Lda_false -> env.e_acc <- const st (Heap.false_value h)
+          | Bytecode.Ldar r -> env.e_acc <- env.e_regs.(r)
+          | Bytecode.Star r -> env.e_regs.(r) <- env.e_acc
+          | Bytecode.Mov (d, s) -> env.e_regs.(d) <- env.e_regs.(s)
+          | Bytecode.Lda_global c ->
+            let cell = Heap.global_cell h (name_of_const c) in
+            env.e_acc <- load_field st blk (const st cell) 1
+          | Bytecode.Sta_global c ->
+            let cell = Heap.global_cell h (name_of_const c) in
+            store_field st blk (const st cell) 1 (to_tagged st blk env.e_acc)
+          | Bytecode.Lda_context (depth, slot) ->
+            let c = ref (ctx_node blk) in
+            for _ = 1 to depth do
+              c := load_field st blk !c Heap.context_parent_field
+            done;
+            env.e_acc <- load_field st blk !c (Heap.context_slots_field + slot)
+          | Bytecode.Sta_context (depth, slot) ->
+            let c = ref (ctx_node blk) in
+            for _ = 1 to depth do
+              c := load_field st blk !c Heap.context_parent_field
+            done;
+            store_field st blk !c (Heap.context_slots_field + slot)
+              (to_tagged st blk env.e_acc)
+          | Bytecode.Binop (bop, r, slot) -> (
+            let a = env.e_regs.(r) and bv = env.e_acc in
+            match bop with
+            | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+              env.e_acc <- lower_arith env blk fs bop a bv slot
+            | Ast.Bit_and | Ast.Bit_or | Ast.Bit_xor | Ast.Shl | Ast.Shr
+            | Ast.Ushr ->
+              env.e_acc <- lower_bitop env blk fs bop a bv slot
+            | _ -> bailout "unexpected binop")
+          | Bytecode.Test (bop, r, slot) ->
+            env.e_acc <- lower_test env blk fs bop env.e_regs.(r) env.e_acc slot
+          | Bytecode.Neg_acc slot -> (
+            match Feedback.binop_type fvec slot with
+            | Feedback.Ot_none -> soft_deopt env blk fs
+            | Feedback.Ot_smi when kind_of st env.e_acc <> Son.K_float ->
+              let v = to_smi_tagged st env blk fs env.e_acc in
+              (* Negating zero must produce -0: deopt. *)
+              ignore
+                (Son.add_node g blk ~fs
+                   (Son.N_check
+                      { reason = Insn.Minus_zero; ckind = Son.C_cmp_imm 0;
+                        cond = Insn.Eq })
+                   [| v |]);
+              env.e_acc <-
+                Son.add_node g blk ~fs Son.N_smi_sub_checked
+                  [| smi_const st 0; v |]
+            | _ ->
+              let fv = to_float st env blk fs env.e_acc in
+              env.e_acc <-
+                Son.add_node g blk (Son.N_float_binop Insn.Fmul)
+                  [| fv; fconst st (-1.0) |])
+          | Bytecode.Bitnot_acc slot -> (
+            match Feedback.binop_type fvec slot with
+            | Feedback.Ot_none -> soft_deopt env blk fs
+            | _ ->
+              let ai = to_int32 st env blk fs env.e_acc in
+              let r =
+                Son.add_node g blk (Son.N_int_binop Insn.Eor)
+                  [| ai; smi_const st (-1) |]
+              in
+              (* xor with an untagged -1: inputs must be raw; use a raw
+                 constant through untag of smi const. *)
+              ignore r;
+              let minus1 =
+                Son.add_node g blk Son.N_smi_untag [| smi_const st (-1) |]
+              in
+              let r =
+                Son.add_node g blk (Son.N_int_binop Insn.Eor) [| ai; minus1 |]
+              in
+              env.e_acc <- Son.add_node g blk Son.N_smi_tag [| r |])
+          | Bytecode.Not_acc ->
+            let c = branch_cond env blk fs env.e_acc in
+            let cn = Son.node g c in
+            let inverted =
+              match cn.Son.op with
+              | Son.N_cmp { ckind; cond } ->
+                Son.add_node g blk
+                  (Son.N_cmp { ckind; cond = Insn.negate_cond cond })
+                  (Array.copy cn.Son.inputs)
+              | _ -> bailout "internal: branch_cond returned non-cmp"
+            in
+            env.e_acc <- inverted
+          | Bytecode.Typeof_acc ->
+            env.e_acc <-
+              call_builtin st blk Builtins.id_rt_typeof
+                [| undef st; to_tagged st blk env.e_acc |]
+          | Bytecode.Get_named (r, c, slot) ->
+            env.e_acc <-
+              lower_get_named env blk fs env.e_regs.(r) (name_of_const c) slot
+          | Bytecode.Set_named (r, c, slot) ->
+            lower_set_named env blk fs env.e_regs.(r) (name_of_const c) slot
+              env.e_acc
+          | Bytecode.Get_keyed (r, slot) ->
+            env.e_acc <- lower_get_keyed env blk fs env.e_regs.(r) env.e_acc slot
+          | Bytecode.Set_keyed (r, k, slot) ->
+            lower_set_keyed env blk fs env.e_regs.(r) env.e_regs.(k) env.e_acc
+              slot
+          | Bytecode.Create_array cap ->
+            env.e_acc <-
+              call_builtin st blk Builtins.id_rt_create_array
+                [| undef st; smi_const st cap |]
+          | Bytecode.Create_object ->
+            env.e_acc <-
+              call_builtin st blk Builtins.id_rt_create_object [| undef st |]
+          | Bytecode.Create_closure fid ->
+            env.e_acc <-
+              call_builtin st blk Builtins.id_rt_create_closure
+                [| undef st; smi_const st fid; ctx_node blk |]
+          | Bytecode.Call (callee_r, first, n, slot) ->
+            env.e_acc <-
+              lower_call env blk fs env.e_regs.(callee_r) (undef st)
+                (js_args env first n) slot
+          | Bytecode.Call_method (recv_r, name_c, first, n, slot) ->
+            env.e_acc <-
+              lower_call_method env blk fs env.e_regs.(recv_r)
+                (name_of_const name_c) (js_args env first n) slot
+          | Bytecode.Construct (callee_r, first, n, slot) ->
+            if uninit slot then soft_deopt env blk fs
+            else begin
+              let args = js_args env first n in
+              if Array.length args > 5 then bailout "too many constructor args";
+              let inputs =
+                Array.concat
+                  [ [| undef st; to_tagged st blk env.e_regs.(callee_r) |];
+                    Array.map (fun a -> to_tagged st blk a) args ]
+              in
+              env.e_acc <- call_builtin st blk Builtins.id_rt_construct inputs
+            end
+          | Bytecode.Jump t ->
+            Son.set_term g blk (Son.T_goto cfg_info.block_index.(t));
+            terminated := true
+          | Bytecode.Jump_if_false t ->
+            let c = branch_cond env blk fs env.e_acc in
+            Son.set_term g blk
+              (Son.T_branch
+                 { cond = c; if_true = cfg_info.block_index.(!pc + 1);
+                   if_false = cfg_info.block_index.(t) });
+            terminated := true
+          | Bytecode.Jump_if_true t ->
+            let c = branch_cond env blk fs env.e_acc in
+            Son.set_term g blk
+              (Son.T_branch
+                 { cond = c; if_true = cfg_info.block_index.(t);
+                   if_false = cfg_info.block_index.(!pc + 1) });
+            terminated := true
+          | Bytecode.Return ->
+            Son.set_term g blk (Son.T_return (to_tagged st blk env.e_acc));
+            terminated := true);
+          incr pc
+        done;
+        if not !terminated then begin
+          (* Fallthrough. *)
+          if b + 1 < n_cb then Son.set_term g blk (Son.T_goto (b + 1))
+          else bailout "internal: function fell off the end"
+        end;
+        exit_envs.(b) <- Some env;
+        patch_backedges b
+    end
+  done;
+  ignore empty_tables;
+  Son.seal g;
+  g
+
+(* Two passes: the first discovers loop-invariant facts, the second
+   builds the real graph with hoisted (seeded + edge-guarded) checks. *)
+let build cfg rt f =
+  let seeds = Hashtbl.create 32 in
+  if not cfg.turboprop then
+    ignore (build_pass cfg rt f ~seeds ~record_seeds:true);
+  build_pass cfg rt f ~seeds ~record_seeds:false

@@ -1,0 +1,35 @@
+(** Bytecode + type feedback to graph IR (TurboFan's graph builder and
+    speculative lowering, fused).
+
+    The builder abstractly interprets the bytecode, mapping interpreter
+    registers to SSA nodes, and lowers each operation according to its
+    feedback: SMI feedback yields checked SMI arithmetic with
+    [Not-a-SMI]/[Overflow] checks, Number feedback yields unboxed float
+    operations behind [CheckedTaggedToFloat64], monomorphic property
+    feedback yields map-checked field loads, and so on.  Every check
+    captures the frame state of the most recent checkpoint so that the
+    engine can rebuild the interpreter frame on deoptimization.
+
+    A simple fact lattice (per SSA value: known-SMI / known-heap-object /
+    known-map) performs TurboFan's redundant-check elimination; facts
+    propagate through single-predecessor edges, intersect at merges, and
+    reset at loop headers (pessimistic, sound).  [turboprop] mode skips
+    the lattice entirely — more checks, faster compile — mirroring the
+    reduced-pass mid-tier compiler. *)
+
+type config = {
+  arch : Arch.t;
+  trust_elements_kind : bool;
+      (** When true, loads from PACKED_SMI arrays are typed as SMI and
+          downstream Not-a-SMI checks disappear (ablation; default false
+          reproduces the paper's Fig 3 code shape). *)
+  turboprop : bool;
+}
+
+val default_config : Arch.t -> config
+
+exception Bailout of string
+(** The function uses a pattern the optimizing compiler does not
+    support (e.g. too many call arguments); it stays interpreted. *)
+
+val build : config -> Runtime.t -> Runtime.func_rt -> Son.t

@@ -1,0 +1,227 @@
+type stats = { checks_removed : int; nodes_dce_removed : int }
+
+let run_dce = Son.dead_code_elimination
+
+let short_circuit_checks (g : Son.t) ~groups =
+  let removed = ref 0 in
+  for b = 0 to g.Son.n_blocks - 1 do
+    let blk = Son.block g b in
+    blk.Son.body <-
+      List.filter
+        (fun i ->
+          let n = Son.node g i in
+          match Son.check_group_of n with
+          | Some grp when List.mem grp groups -> (
+            match n.Son.op with
+            | Son.N_check _ ->
+              incr removed;
+              false
+            (* Soft deopts are control flow, not verifications: removing
+               one would let an unlowered site run with a bogus value. *)
+            | _ -> true)
+          | _ -> true)
+        blk.Son.body
+  done;
+  let dce = if !removed > 0 then Son.dead_code_elimination g else 0 in
+  { checks_removed = !removed; nodes_dce_removed = dce }
+
+(* Value-use map: node -> consumers (via inputs) and fs-consumers. *)
+let build_uses (g : Son.t) =
+  let uses = Array.make g.Son.n_nodes [] in
+  let fs_uses = Array.make g.Son.n_nodes [] in
+  for b = 0 to g.Son.n_blocks - 1 do
+    List.iter
+      (fun i ->
+        let n = Son.node g i in
+        Array.iter (fun inp -> if inp >= 0 then uses.(inp) <- i :: uses.(inp))
+          n.Son.inputs;
+        match n.Son.fs with
+        | None -> ()
+        | Some fs ->
+          Array.iter
+            (fun v -> if v >= 0 then fs_uses.(v) <- i :: fs_uses.(v))
+            fs.Son.fs_regs;
+          if fs.Son.fs_acc >= 0 then
+            fs_uses.(fs.Son.fs_acc) <- i :: fs_uses.(fs.Son.fs_acc))
+      (Son.block g b).Son.body;
+    (* Terminators also consume values. *)
+    match (Son.block g b).Son.term with
+    | Son.T_branch { cond; _ } -> uses.(cond) <- -1 :: uses.(cond)
+    | Son.T_return v -> uses.(v) <- -1 :: uses.(v)
+    | Son.T_none | Son.T_goto _ -> ()
+  done;
+  (uses, fs_uses)
+
+let fuse_smi_loads (g : Son.t) =
+  let uses, fs_uses = build_uses g in
+  let fused = ref 0 in
+  (* Rewrite every terminator/return use of [old] to [fresh]. *)
+  let rewrite_terms old fresh =
+    for bb = 0 to g.Son.n_blocks - 1 do
+      let blk = Son.block g bb in
+      match blk.Son.term with
+      | Son.T_branch { cond; if_true; if_false } when cond = old ->
+        blk.Son.term <- Son.T_branch { cond = fresh; if_true; if_false }
+      | Son.T_return v when v = old -> blk.Son.term <- Son.T_return fresh
+      | _ -> ()
+    done
+  in
+  let rewrite_value_use user old fresh =
+    if user >= 0 then begin
+      let un = Son.node g user in
+      Array.iteri (fun k inp -> if inp = old then un.Son.inputs.(k) <- fresh)
+        un.Son.inputs
+    end
+  in
+  let rewrite_fs_use user old fresh =
+    let un = Son.node g user in
+    match un.Son.fs with
+    | None -> ()
+    | Some fs ->
+      Array.iteri (fun k v -> if v = old then fs.Son.fs_regs.(k) <- fresh)
+        fs.Son.fs_regs;
+      if fs.Son.fs_acc = old then un.Son.fs <- Some { fs with Son.fs_acc = fresh }
+  in
+  for b = 0 to g.Son.n_blocks - 1 do
+    let blk = Son.block g b in
+    (* Iterate over a snapshot: we splice nodes into the body. *)
+    List.iter
+      (fun i ->
+        let n = Son.node g i in
+        match n.Son.op with
+        | Son.N_load { offset; scale; kind = Son.M_tagged } -> (
+          let consumers = List.filter (fun u -> u >= 0) uses.(i) in
+          let checks, others =
+            List.partition
+              (fun u ->
+                match (Son.node g u).Son.op with
+                | Son.N_check { reason = Insn.Not_a_smi; _ } ->
+                  (Son.node g u).Son.inputs = [| i |]
+                | _ -> false)
+              consumers
+          in
+          match checks with
+          | [ check ] ->
+            let check_node = Son.node g check in
+            (* The load becomes the fused instruction (untagged result). *)
+            n.Son.op <- Son.N_js_ldr_smi { offset; scale };
+            n.Son.kind <- Son.K_int32;
+            n.Son.fs <- check_node.Son.fs;
+            incr fused;
+            (* Drop the check node. *)
+            check_node.Son.op <- Son.N_phi;
+            let cb = Son.block g check_node.Son.block in
+            cb.Son.body <- List.filter (fun x -> x <> check) cb.Son.body;
+            (* Untag consumers read the raw value directly; checked
+               multiplies take one raw operand for free (their internal
+               untag disappears); everything else goes through an
+               explicit re-tag. *)
+            let retag = ref (-1) in
+            let get_retag () =
+              if !retag >= 0 then !retag
+              else begin
+                let t = Son.add_floating g ~kind:Son.K_tagged Son.N_smi_tag [| i |] in
+                (* Place it right after the load in the same block. *)
+                let rec insert_after = function
+                  | [] -> [ t ]
+                  | x :: rest when x = i -> x :: t :: rest
+                  | x :: rest -> x :: insert_after rest
+                in
+                blk.Son.body <- insert_after blk.Son.body;
+                (Son.node g t).Son.block <- b;
+                retag := t;
+                t
+              end
+            in
+            List.iter
+              (fun u ->
+                let un = Son.node g u in
+                match un.Son.op with
+                | Son.N_smi_untag when un.Son.inputs = [| i |] ->
+                  (* Alias: forward the raw value. *)
+                  List.iter (fun user -> rewrite_value_use user u i) uses.(u);
+                  List.iter (fun user -> rewrite_fs_use user u i) fs_uses.(u);
+                  rewrite_terms u i;
+                  un.Son.op <- Son.N_phi;
+                  let ub = Son.block g un.Son.block in
+                  ub.Son.body <- List.filter (fun x -> x <> u) ub.Son.body
+                | Son.N_load _ when Array.length un.Son.inputs >= 2
+                                    && un.Son.inputs.(1) = i
+                                    && un.Son.inputs.(0) <> i ->
+                  (* Raw index: codegen doubles the scale instead of
+                     re-tagging on the address critical path. *)
+                  ()
+                | Son.N_store _ when Array.length un.Son.inputs = 3
+                                     && un.Son.inputs.(1) = i
+                                     && un.Son.inputs.(0) <> i
+                                     && un.Son.inputs.(2) <> i ->
+                  ()
+                | Son.N_smi_mul_checked
+                | Son.N_smi_div_checked
+                | Son.N_smi_mod_checked ->
+                  (* Codegen handles a raw first operand; make sure the
+                     raw value sits in slot 0 (mul is commutative; for
+                     div/mod only the dividend may be raw). *)
+                  let can_swap = un.Son.op = Son.N_smi_mul_checked in
+                  let slot0_raw () =
+                    (Son.node g un.Son.inputs.(0)).Son.kind = Son.K_int32
+                  in
+                  if un.Son.inputs.(0) = i then begin
+                    (* Slot 0 takes the raw value; a raw slot 1 would be
+                       misread as tagged. *)
+                    if (Son.node g un.Son.inputs.(1)).Son.kind = Son.K_int32
+                    then ()
+                    (* both handled below when the other load fuses *)
+                  end
+                  else if un.Son.inputs.(1) = i && can_swap && not (slot0_raw ())
+                  then begin
+                    un.Son.inputs.(1) <- un.Son.inputs.(0);
+                    un.Son.inputs.(0) <- i
+                  end
+                  else rewrite_value_use u i (get_retag ())
+                | _ -> rewrite_value_use u i (get_retag ()))
+              others;
+            (* Frame states referencing the load keep the raw value: the
+               deopt machinery re-tags int32 frame values. *)
+            ()
+          | _ -> ())
+        | _ -> ())
+      blk.Son.body
+  done;
+  if !fused > 0 then ignore (Son.dead_code_elimination g);
+  !fused
+
+let fuse_map_checks (g : Son.t) =
+  let uses, _ = build_uses g in
+  let fused = ref 0 in
+  for b = 0 to g.Son.n_blocks - 1 do
+    List.iter
+      (fun i ->
+        let n = Son.node g i in
+        match n.Son.op with
+        | Son.N_load { offset = -1; scale = 0; kind = Son.M_tagged } -> (
+          (* A map-word load (field 0). Fusable when its only consumer
+             is a Wrong-Map compare against a constant. *)
+          match List.filter (fun u -> u >= 0) uses.(i) with
+          | [ check ] -> (
+            let cn = Son.node g check in
+            match cn.Son.op with
+            | Son.N_check
+                { reason = Insn.Wrong_map; ckind = Son.C_cmp_reg; _ }
+              when Array.length cn.Son.inputs = 2 && cn.Son.inputs.(0) = i -> (
+              match (Son.node g cn.Son.inputs.(1)).Son.op with
+              | Son.N_const expected ->
+                n.Son.op <- Son.N_js_chk_map { offset = -1; expected };
+                n.Son.fs <- cn.Son.fs;
+                incr fused;
+                cn.Son.op <- Son.N_phi;
+                let cb = Son.block g cn.Son.block in
+                cb.Son.body <- List.filter (fun x -> x <> check) cb.Son.body
+              | _ -> ())
+            | _ -> ())
+          | _ -> ())
+        | _ -> ())
+      (Son.block g b).Son.body
+  done;
+  if !fused > 0 then ignore (Son.dead_code_elimination g);
+  !fused

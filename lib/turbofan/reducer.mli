@@ -1,0 +1,33 @@
+(** Graph reductions.
+
+    [short_circuit_checks] implements the paper's check-removal
+    methodology (Fig 5): checks of the selected groups are
+    short-circuited so they and every ancestor node used only by them
+    become dead and are removed by DCE — e.g. removing a bounds check
+    also removes its array-length load.
+
+    [fuse_smi_loads] implements the compiler side of the ISA extension
+    (Section V): a tagged load whose only consumers are a Not-a-SMI
+    check and an untagging shift is replaced by a single [jsldrsmi]
+    node. *)
+
+type stats = {
+  checks_removed : int;
+  nodes_dce_removed : int;
+}
+
+val short_circuit_checks : Son.t -> groups:Insn.check_group list -> stats
+(** Removes eager checks whose group is in [groups], then runs
+    dead-code elimination.  Soft deopts are never removed: they are
+    control transfers to the interpreter, not verifications. *)
+
+val fuse_smi_loads : Son.t -> int
+(** Returns the number of load/check/untag triples fused into
+    [jsldrsmi] nodes.  Only meaningful on [Arm64_smi_ext]. *)
+
+val fuse_map_checks : Son.t -> int
+(** Future-work prototype (paper Section VII): map-word loads whose
+    only consumer is a Wrong-Map check become single fused
+    [jschkmap] instructions with branch-free bailout. *)
+
+val run_dce : Son.t -> int

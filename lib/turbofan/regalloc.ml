@@ -1,0 +1,208 @@
+type location =
+  | L_reg of int
+  | L_freg of int
+  | L_slot of int
+  | L_fslot of int
+  | L_const of int
+  | L_fconst of float
+  | L_none
+
+type t = { loc : location array; gp_slots : int; fp_slots : int }
+
+let first_scratch = 15
+let num_alloc_gp = 15
+let num_alloc_fp = 10
+
+type interval = {
+  node : int;
+  start : int;
+  mutable stop : int;
+  is_float : bool;
+}
+
+let allocate (g : Son.t) =
+  let n = g.Son.n_nodes in
+  let pos = Array.make n (-1) in
+  let term_pos = Array.make g.Son.n_blocks 0 in
+  let counter = ref 1 in
+  (* Parameters define at position 0. *)
+  for i = 0 to n - 1 do
+    match (Son.node g i).Son.op with
+    | Son.N_param _ -> pos.(i) <- 0
+    | _ -> ()
+  done;
+  for b = 0 to g.Son.n_blocks - 1 do
+    List.iter
+      (fun i ->
+        pos.(i) <- !counter;
+        incr counter)
+      (Son.block g b).Son.body;
+    term_pos.(b) <- !counter;
+    incr counter
+  done;
+
+  let is_const i =
+    match (Son.node g i).Son.op with
+    | Son.N_const _ | Son.N_fconst _ -> true
+    | _ -> false
+  in
+  let live = Array.make n false in
+  let stop = Array.make n (-1) in
+  let start = Array.make n max_int in
+  let use v p =
+    if v >= 0 && not (is_const v) && pos.(v) >= 0 then begin
+      live.(v) <- true;
+      if p > stop.(v) then stop.(v) <- p
+    end
+  in
+  (* A phi's location is written at every predecessor end, possibly far
+     before the phi's own position: its interval must start there. *)
+  let write_at v p = if p < start.(v) then start.(v) <- p in
+  (* Defs are "used" at their own position so unused-but-effectful nodes
+     get empty intervals. *)
+  for b = 0 to g.Son.n_blocks - 1 do
+    let blk = Son.block g b in
+    List.iter
+      (fun i ->
+        let nd = Son.node g i in
+        let p = pos.(i) in
+        (match nd.Son.op with
+        | Son.N_phi ->
+          (* Inputs are consumed, and the phi's own location written, at
+             the end of each predecessor. *)
+          List.iteri
+            (fun k pred ->
+              let tp = term_pos.(pred) in
+              if k < Array.length nd.Son.inputs then use nd.Son.inputs.(k) tp;
+              use i tp;
+              write_at i tp)
+            blk.Son.preds
+        | _ -> Array.iter (fun v -> use v p) nd.Son.inputs);
+        (match nd.Son.fs with
+        | None -> ()
+        | Some fs ->
+          Array.iter (fun v -> use v p) fs.Son.fs_regs;
+          use fs.Son.fs_acc p))
+      blk.Son.body;
+    match blk.Son.term with
+    | Son.T_branch { cond; _ } ->
+      (* The branch re-emits the compare from its operands AFTER the phi
+         moves of this block's successors; extend past the phi-write
+         position so a phi cannot reuse an operand's register. *)
+      Array.iter (fun v -> use v (term_pos.(b) + 1)) (Son.node g cond).Son.inputs
+    | Son.T_return v -> use v (term_pos.(b) + 1)
+    | Son.T_none | Son.T_goto _ -> ()
+  done;
+
+  (* Call positions for the crossing test. *)
+  let calls = ref [] in
+  for b = 0 to g.Son.n_blocks - 1 do
+    List.iter
+      (fun i ->
+        match (Son.node g i).Son.op with
+        | Son.N_call_builtin _ | Son.N_call_js _ -> calls := pos.(i) :: !calls
+        | _ -> ())
+      (Son.block g b).Son.body
+  done;
+  let calls = Array.of_list (List.sort compare !calls) in
+  let crosses_call s e =
+    (* any call position p with s < p < e *)
+    let rec bs lo hi =
+      if lo >= hi then false
+      else begin
+        let mid = (lo + hi) / 2 in
+        if calls.(mid) <= s then bs (mid + 1) hi
+        else calls.(mid) < e || bs lo mid
+      end
+    in
+    bs 0 (Array.length calls)
+  in
+
+  let loc = Array.make n L_none in
+  (* Constants are rematerialized. *)
+  for i = 0 to n - 1 do
+    match (Son.node g i).Son.op with
+    | Son.N_const c -> loc.(i) <- L_const c
+    | Son.N_fconst f -> loc.(i) <- L_fconst f
+    | _ -> ()
+  done;
+
+  let intervals = ref [] in
+  for i = 0 to n - 1 do
+    if live.(i) && not (is_const i) then begin
+      let nd = Son.node g i in
+      (* Nodes that produce no value never need a location. *)
+      match nd.Son.op with
+      | Son.N_store _ | Son.N_check _ | Son.N_soft_deopt _ -> ()
+      | _ ->
+        let s0 = min pos.(i) start.(i) in
+        intervals :=
+          { node = i; start = s0; stop = max stop.(i) pos.(i);
+            is_float = nd.Son.kind = Son.K_float }
+          :: !intervals
+    end
+  done;
+  let intervals =
+    List.sort (fun a b -> compare (a.start, a.node) (b.start, b.node)) !intervals
+  in
+
+  let next_slot = ref 3 (* slot 0 = closure, 1-2 = saved fp/lr *) in
+  let next_fslot = ref 0 in
+  let fresh_slot is_float =
+    if is_float then begin
+      let s = !next_fslot in
+      incr next_fslot;
+      L_fslot s
+    end
+    else begin
+      let s = !next_slot in
+      incr next_slot;
+      L_slot s
+    end
+  in
+
+  (* Two independent scans (GP / FP). *)
+  let scan ~is_float ~num_regs =
+    let active : interval array = Array.make num_regs { node = -1; start = 0; stop = -1; is_float } in
+    let reg_of = Hashtbl.create 32 in
+    List.iter
+      (fun itv ->
+        if itv.is_float = is_float then begin
+          if crosses_call itv.start itv.stop then
+            loc.(itv.node) <- fresh_slot is_float
+          else begin
+            (* Find a register whose active interval has expired. *)
+            let found = ref (-1) in
+            for r = 0 to num_regs - 1 do
+              if !found < 0 && active.(r).stop <= itv.start then found := r
+            done;
+            if !found >= 0 then begin
+              active.(!found) <- itv;
+              Hashtbl.replace reg_of itv.node !found;
+              loc.(itv.node) <- (if is_float then L_freg !found else L_reg !found)
+            end
+            else begin
+              (* Spill the active interval with the furthest end, or the
+                 current one. *)
+              let victim = ref 0 in
+              for r = 1 to num_regs - 1 do
+                if active.(r).stop > active.(!victim).stop then victim := r
+              done;
+              if active.(!victim).stop > itv.stop then begin
+                let v = active.(!victim) in
+                loc.(v.node) <- fresh_slot is_float;
+                Hashtbl.remove reg_of v.node;
+                active.(!victim) <- itv;
+                Hashtbl.replace reg_of itv.node !victim;
+                loc.(itv.node) <-
+                  (if is_float then L_freg !victim else L_reg !victim)
+              end
+              else loc.(itv.node) <- fresh_slot is_float
+            end
+          end
+        end)
+      intervals
+  in
+  scan ~is_float:false ~num_regs:num_alloc_gp;
+  scan ~is_float:true ~num_regs:num_alloc_fp;
+  { loc; gp_slots = !next_slot; fp_slots = !next_fslot }

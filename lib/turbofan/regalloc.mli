@@ -1,0 +1,33 @@
+(** Linear-scan register allocation over graph nodes.
+
+    Virtual registers are SSA node ids.  Live intervals run from the
+    defining position to the last use, where uses include instruction
+    inputs, frame-state references (deopt metadata keeps values alive,
+    as in TurboFan), phi inputs (used at the end of the corresponding
+    predecessor), phi writes (a phi's location is written at every
+    predecessor end), and terminator operands.
+
+    All registers are caller-saved, so any interval crossing a call
+    lives in a spill slot.  Constants are rematerialized at use and
+    never allocated.  r15-r17 and d10-d11 are reserved as scratch. *)
+
+type location =
+  | L_reg of int
+  | L_freg of int
+  | L_slot of int
+  | L_fslot of int
+  | L_const of int
+  | L_fconst of float
+  | L_none
+
+type t = {
+  loc : location array;         (** node id -> location *)
+  gp_slots : int;               (** spill frame size (slot 0 = closure) *)
+  fp_slots : int;
+}
+
+val first_scratch : int (* = 15 *)
+val num_alloc_gp : int  (* = 15: r0..r14 *)
+val num_alloc_fp : int  (* = 10: d0..d9 *)
+
+val allocate : Son.t -> t

@@ -1,0 +1,291 @@
+type value_kind = K_tagged | K_float | K_int32 | K_bool
+
+type cmp_kind =
+  | C_tst_imm of int
+  | C_cmp_imm of int
+  | C_cmp_reg
+  | C_cmp_mem of int
+  | C_fcmp
+  | C_always
+
+type mem_kind = M_tagged | M_float
+
+type frame_state = { fs_bc_pc : int; fs_regs : int array; fs_acc : int }
+
+type op =
+  | N_param of int
+  | N_const of int
+  | N_fconst of float
+  | N_int_binop of Insn.alu_op
+  | N_smi_add_checked
+  | N_smi_sub_checked
+  | N_smi_mul_checked
+  | N_smi_div_checked
+  | N_smi_mod_checked
+  | N_smi_untag
+  | N_smi_tag
+  | N_smi_tag_checked
+  | N_float_binop of Insn.falu_op
+  | N_int_to_float
+  | N_float_to_int
+  | N_to_float
+  | N_cmp of { ckind : cmp_kind; cond : Insn.cond }
+  | N_load of { offset : int; scale : int; kind : mem_kind }
+  | N_store of { offset : int; scale : int; kind : mem_kind }
+  | N_check of { reason : Insn.deopt_reason; ckind : cmp_kind; cond : Insn.cond }
+  | N_soft_deopt of Insn.deopt_reason
+  | N_js_ldr_smi of { offset : int; scale : int }
+  | N_js_chk_map of { offset : int; expected : int }
+  | N_call_builtin of { builtin : int; argc : int }
+  | N_call_js of { target : int option; argc : int }
+  | N_stack_check
+  | N_phi
+
+type node = {
+  nid : int;
+  mutable op : op;
+  mutable inputs : int array;
+  mutable fs : frame_state option;
+  mutable kind : value_kind;
+  mutable block : int;
+}
+
+type terminator =
+  | T_none
+  | T_goto of int
+  | T_branch of { cond : int; if_true : int; if_false : int }
+  | T_return of int
+
+type block = {
+  bid : int;
+  mutable body : int list;
+  mutable term : terminator;
+  mutable preds : int list;
+  mutable is_loop_header : bool;
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  mutable blocks : block array;
+  mutable n_blocks : int;
+  fname : string;
+}
+
+let dummy_node =
+  { nid = -1; op = N_phi; inputs = [||]; fs = None; kind = K_tagged; block = -1 }
+
+let dummy_block =
+  { bid = -1; body = []; term = T_none; preds = []; is_loop_header = false }
+
+let create fname =
+  { nodes = Array.make 64 dummy_node; n_nodes = 0; blocks = Array.make 8 dummy_block;
+    n_blocks = 0; fname }
+
+let node t i = t.nodes.(i)
+let block t i = t.blocks.(i)
+
+let new_block t =
+  if t.n_blocks >= Array.length t.blocks then begin
+    let bigger = Array.make (2 * Array.length t.blocks) dummy_block in
+    Array.blit t.blocks 0 bigger 0 t.n_blocks;
+    t.blocks <- bigger
+  end;
+  let b =
+    { bid = t.n_blocks; body = []; term = T_none; preds = []; is_loop_header = false }
+  in
+  t.blocks.(t.n_blocks) <- b;
+  t.n_blocks <- t.n_blocks + 1;
+  b
+
+let push_node t n =
+  if t.n_nodes >= Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) dummy_node in
+    Array.blit t.nodes 0 bigger 0 t.n_nodes;
+    t.nodes <- bigger
+  end;
+  t.nodes.(t.n_nodes) <- n;
+  t.n_nodes <- t.n_nodes + 1;
+  n.nid
+
+let default_kind = function
+  | N_param _ | N_const _ | N_smi_add_checked | N_smi_sub_checked
+  | N_smi_mul_checked | N_smi_div_checked | N_smi_mod_checked | N_smi_tag
+  | N_smi_tag_checked | N_call_builtin _ | N_call_js _ | N_phi ->
+    K_tagged
+  | N_stack_check -> K_tagged
+  | N_fconst _ | N_float_binop _ | N_int_to_float | N_to_float -> K_float
+  | N_int_binop _ | N_smi_untag | N_float_to_int | N_js_ldr_smi _ -> K_int32
+  | N_js_chk_map _ -> K_tagged (* no value *)
+  | N_cmp _ -> K_bool
+  | N_load { kind = M_float; _ } -> K_float
+  | N_load _ -> K_tagged
+  | N_store _ | N_check _ | N_soft_deopt _ -> K_tagged (* no value *)
+
+let add_node t (b : block) ?fs ?kind op inputs =
+  let n =
+    { nid = t.n_nodes; op; inputs; fs;
+      kind = (match kind with Some k -> k | None -> default_kind op);
+      block = b.bid }
+  in
+  let id = push_node t n in
+  b.body <- id :: b.body;  (* reversed; finalized by [seal_body] *)
+  id
+
+(* Body lists are built reversed; normalize lazily. *)
+let seal t =
+  for i = 0 to t.n_blocks - 1 do
+    t.blocks.(i).body <- List.rev t.blocks.(i).body
+  done
+
+let add_floating t ?kind op inputs =
+  let n =
+    { nid = t.n_nodes; op; inputs; fs = None;
+      kind = (match kind with Some k -> k | None -> default_kind op);
+      block = -1 }
+  in
+  push_node t n
+
+let prepend_phi t (b : block) nid =
+  (node t nid).block <- b.bid;
+  (* body is reversed during construction: appending keeps the phi at
+     the sealed-list head only if added before anything else; instead we
+     append at the logical front by putting it at the end of the
+     reversed list. *)
+  b.body <- b.body @ [ nid ]
+
+let set_term _t (b : block) term = b.term <- term
+
+let is_effectful = function
+  | N_store _ | N_check _ | N_soft_deopt _ | N_call_builtin _ | N_call_js _
+  | N_stack_check | N_js_chk_map _ ->
+    true
+  | N_param _ | N_const _ | N_fconst _ | N_int_binop _ | N_smi_add_checked
+  | N_smi_sub_checked | N_smi_mul_checked | N_smi_div_checked
+  | N_smi_mod_checked | N_smi_untag | N_smi_tag | N_smi_tag_checked
+  | N_float_binop _ | N_int_to_float | N_float_to_int | N_to_float | N_cmp _
+  | N_load _ | N_js_ldr_smi _ | N_phi ->
+    false
+
+let check_group_of n =
+  match n.op with
+  | N_check { reason; _ } | N_soft_deopt reason ->
+    Some (Insn.group_of_reason reason)
+  | N_js_ldr_smi _ -> Some Insn.G_not_smi
+  | N_js_chk_map _ -> Some Insn.G_type
+  | _ -> None
+
+let dead_code_elimination t =
+  let marked = Array.make t.n_nodes false in
+  let work = Stack.create () in
+  let mark i =
+    if i >= 0 && not marked.(i) then begin
+      marked.(i) <- true;
+      Stack.push i work
+    end
+  in
+  for b = 0 to t.n_blocks - 1 do
+    let blk = t.blocks.(b) in
+    List.iter
+      (fun i -> if is_effectful (node t i).op then mark i)
+      blk.body;
+    (match blk.term with
+    | T_none | T_goto _ -> ()
+    | T_branch { cond; _ } -> mark cond
+    | T_return v -> mark v)
+  done;
+  while not (Stack.is_empty work) do
+    let i = Stack.pop work in
+    let n = node t i in
+    Array.iter mark n.inputs;
+    match n.fs with
+    | None -> ()
+    | Some fs ->
+      Array.iter mark fs.fs_regs;
+      mark fs.fs_acc
+  done;
+  let removed = ref 0 in
+  for b = 0 to t.n_blocks - 1 do
+    let blk = t.blocks.(b) in
+    let keep, drop = List.partition (fun i -> marked.(i)) blk.body in
+    removed := !removed + List.length drop;
+    blk.body <- keep
+  done;
+  !removed
+
+let node_count t =
+  let c = ref 0 in
+  for b = 0 to t.n_blocks - 1 do
+    c := !c + List.length t.blocks.(b).body
+  done;
+  !c
+
+let op_name = function
+  | N_param i -> Printf.sprintf "Parameter[%d]" i
+  | N_const c -> Printf.sprintf "Constant[%d]" c
+  | N_fconst f -> Printf.sprintf "Float64Constant[%g]" f
+  | N_int_binop op -> Printf.sprintf "Int32%s" (String.capitalize_ascii
+      (match op with
+      | Insn.Add -> "add" | Insn.Sub -> "sub" | Insn.Mul -> "mul"
+      | Insn.Sdiv -> "div" | Insn.Smod -> "mod" | Insn.And -> "and"
+      | Insn.Orr -> "or" | Insn.Eor -> "xor" | Insn.Lsl -> "shl"
+      | Insn.Lsr -> "shr" | Insn.Asr -> "sar"))
+  | N_smi_add_checked -> "CheckedSmiAdd"
+  | N_smi_sub_checked -> "CheckedSmiSub"
+  | N_smi_mul_checked -> "CheckedSmiMul"
+  | N_smi_div_checked -> "CheckedSmiDiv"
+  | N_smi_mod_checked -> "CheckedSmiMod"
+  | N_smi_untag -> "SmiUntag"
+  | N_smi_tag -> "SmiTag"
+  | N_smi_tag_checked -> "CheckedSmiTag"
+  | N_float_binop op ->
+    (match op with
+    | Insn.Fadd -> "Float64Add" | Insn.Fsub -> "Float64Sub"
+    | Insn.Fmul -> "Float64Mul" | Insn.Fdiv -> "Float64Div")
+  | N_int_to_float -> "ChangeInt32ToFloat64"
+  | N_float_to_int -> "TruncateFloat64ToInt32"
+  | N_to_float -> "CheckedTaggedToFloat64"
+  | N_cmp _ -> "Compare"
+  | N_load { kind = M_float; _ } -> "LoadFloat64"
+  | N_load _ -> "LoadTagged"
+  | N_store { kind = M_float; _ } -> "StoreFloat64"
+  | N_store _ -> "StoreTagged"
+  | N_check { reason; _ } ->
+    Printf.sprintf "Check[%s]" (Insn.reason_name reason)
+  | N_soft_deopt reason ->
+    Printf.sprintf "SoftDeopt[%s]" (Insn.reason_name reason)
+  | N_js_ldr_smi _ -> "JsLdrSmi"
+  | N_js_chk_map _ -> "JsChkMap"
+  | N_call_builtin { builtin; _ } -> Printf.sprintf "CallBuiltin[%d]" builtin
+  | N_call_js { target = Some f; _ } -> Printf.sprintf "CallJS[f%d]" f
+  | N_call_js { target = None; _ } -> "CallJS[dyn]"
+  | N_stack_check -> "StackCheck"
+  | N_phi -> "Phi"
+
+let to_string t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf ";; graph of %s: %d nodes, %d blocks\n"
+                           t.fname (node_count t) t.n_blocks);
+  for b = 0 to t.n_blocks - 1 do
+    let blk = t.blocks.(b) in
+    Buffer.add_string buf
+      (Printf.sprintf "B%d%s (preds: %s):\n" b
+         (if blk.is_loop_header then " [loop]" else "")
+         (String.concat "," (List.map string_of_int blk.preds)));
+    List.iter
+      (fun i ->
+        let n = node t i in
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d = %s(%s)\n" i (op_name n.op)
+             (String.concat ", "
+                (Array.to_list (Array.map (Printf.sprintf "n%d") n.inputs)))))
+      blk.body;
+    (match blk.term with
+    | T_none -> ()
+    | T_goto b' -> Buffer.add_string buf (Printf.sprintf "  goto B%d\n" b')
+    | T_branch { cond; if_true; if_false } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  branch n%d ? B%d : B%d\n" cond if_true if_false)
+    | T_return v -> Buffer.add_string buf (Printf.sprintf "  return n%d\n" v))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,141 @@
+(** The optimizing compiler's graph IR.
+
+    A sea-of-nodes-inspired SSA graph, linearized into basic blocks:
+    nodes are pure or effectful operations connected by value edges;
+    deoptimization checks are first-class {!N_check} nodes that carry
+    their own frame state (the checkpoint captured when they were
+    created, paper Section II-B1).  Because checks own both their
+    condition and their frame state, short-circuiting a check (paper
+    Fig 5) makes its condition computation — including ancestor loads
+    such as the array length of a bounds check — dead, and
+    {!dead_code_elimination} removes the whole slice. *)
+
+type value_kind =
+  | K_tagged   (** a tagged word (SMI or pointer) *)
+  | K_float    (** unboxed float64 *)
+  | K_int32    (** untagged machine integer *)
+  | K_bool     (** comparison result *)
+
+(** How a check/branch condition is computed. *)
+type cmp_kind =
+  | C_tst_imm of int        (** inputs [a]: flags from a AND imm *)
+  | C_cmp_imm of int        (** inputs [a]: flags from a - imm *)
+  | C_cmp_reg               (** inputs [a; b] *)
+  | C_cmp_mem of int        (** inputs [a; base]: X64-folded a - [base+off] *)
+  | C_fcmp                  (** inputs [a; b] floats *)
+  | C_always                (** soft deopt: unconditional *)
+
+type mem_kind = M_tagged | M_float
+
+type frame_state = {
+  fs_bc_pc : int;
+  fs_regs : int array;   (** node id per interpreter register; -1 = dead *)
+  fs_acc : int;          (** node id or -1 *)
+}
+
+type op =
+  | N_param of int                    (** machine argument index *)
+  | N_const of int                    (** tagged constant *)
+  | N_fconst of float
+  | N_int_binop of Insn.alu_op        (** untagged 32-bit *)
+  | N_smi_add_checked                 (** tagged + tagged, deopt on overflow *)
+  | N_smi_sub_checked
+  | N_smi_mul_checked                 (** includes the -0 deopt *)
+  | N_smi_div_checked                 (** div-by-zero / lost-precision deopts *)
+  | N_smi_mod_checked
+  | N_smi_untag
+  | N_smi_tag
+  | N_smi_tag_checked                 (** deopt on overflow *)
+  | N_float_binop of Insn.falu_op
+  | N_int_to_float
+  | N_float_to_int                    (** truncating float64 -> int32 *)
+  | N_to_float                        (** tagged number -> float64, map-checked *)
+  | N_cmp of { ckind : cmp_kind; cond : Insn.cond }  (** boolean value *)
+  | N_load of { offset : int; scale : int; kind : mem_kind }
+      (** inputs [base] or [base; index] *)
+  | N_store of { offset : int; scale : int; kind : mem_kind }
+      (** inputs [base; value] or [base; index; value] *)
+  | N_check of { reason : Insn.deopt_reason; ckind : cmp_kind; cond : Insn.cond }
+      (** condition TRUE means the speculation failed: deoptimize *)
+  | N_soft_deopt of Insn.deopt_reason
+  | N_js_ldr_smi of { offset : int; scale : int }
+      (** fused load + Not-a-SMI check + untag (the ISA extension);
+          result is K_int32 *)
+  | N_js_chk_map of { offset : int; expected : int }
+      (** future-work prototype: fused map-word load + compare with
+          branch-free bailout (paper Section VII) *)
+  | N_call_builtin of { builtin : int; argc : int }
+  | N_call_js of { target : int option; argc : int }
+      (** inputs [closure; this; args...] *)
+  | N_stack_check
+      (** V8's interrupt/stack guard, emitted at function entry and loop
+          back-edges: a limit-cell load, compare, and taken branch over a
+          never-executed runtime call (main-line work, not a deopt
+          check) *)
+  | N_phi
+
+type node = {
+  nid : int;
+  mutable op : op;
+  mutable inputs : int array;
+  mutable fs : frame_state option;   (** checks and deopts only *)
+  mutable kind : value_kind;
+  mutable block : int;
+}
+
+type terminator =
+  | T_none
+  | T_goto of int
+  | T_branch of { cond : int; if_true : int; if_false : int }
+  | T_return of int
+
+type block = {
+  bid : int;
+  mutable body : int list;           (** node ids in execution order *)
+  mutable term : terminator;
+  mutable preds : int list;
+  mutable is_loop_header : bool;
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  mutable blocks : block array;
+  mutable n_blocks : int;
+  fname : string;
+}
+
+val create : string -> t
+val new_block : t -> block
+val node : t -> int -> node
+val block : t -> int -> block
+
+val add_node :
+  t -> block -> ?fs:frame_state -> ?kind:value_kind -> op -> int array -> int
+(** Appends to the block body and returns the node id. *)
+
+val add_floating : t -> ?kind:value_kind -> op -> int array -> int
+(** A node not in any block yet (phis are placed explicitly). *)
+
+val prepend_phi : t -> block -> int -> unit
+val set_term : t -> block -> terminator -> unit
+
+val seal : t -> unit
+(** Block bodies are accumulated in reverse; [seal] puts every block
+    into execution order.  Must be called once, after graph building and
+    before any pass reads block bodies. *)
+
+val is_effectful : op -> bool
+(** Effectful nodes are DCE roots: stores, calls, checks, deopts. *)
+
+val check_group_of : node -> Insn.check_group option
+
+val dead_code_elimination : t -> int
+(** Removes nodes not reachable from the roots; returns the number of
+    nodes removed. *)
+
+val node_count : t -> int
+(** Live nodes (after DCE bookkeeping). *)
+
+val to_string : t -> string
+(** Human-readable graph dump. *)

@@ -1,0 +1,263 @@
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun m -> raise (Unsupported m)) fmt
+
+(* Frame layout: slot 0 = closure, 1-2 = saved fp/lr, 3.. = interpreter
+   registers, then the accumulator, then the context. *)
+let reg_slot r = 3 + r
+
+let compile ~code_id ~base_addr ~arch rt (f : Runtime.func_rt) =
+  let info = f.Runtime.info in
+  let h = rt.Runtime.heap in
+  let consts = Runtime.materialize_consts rt f in
+  let n_regs = info.Bytecode.n_regs in
+  let acc_slot = 3 + n_regs in
+  let ctx_slot = acc_slot + 1 in
+  let undef = Heap.undefined h in
+  let false_w = Heap.false_value h in
+  let true_w = Heap.true_value h in
+  let out = ref [] in
+  let emit ?comment k = out := Insn.make ?comment k :: !out in
+  let next_label = ref (Array.length info.Bytecode.code) in
+  let fresh_label () =
+    let l = !next_label in
+    incr next_label;
+    l
+  in
+  let load_reg dst r = emit (Insn.Reload (dst, reg_slot r)) in
+  let load_acc dst = emit (Insn.Reload (dst, acc_slot)) in
+  let store_acc src = emit (Insn.Spill (acc_slot, src)) in
+  let name_of c =
+    match info.Bytecode.consts.(c) with
+    | Bytecode.C_str s -> Heap.intern h s
+    | Bytecode.C_num _ -> unsupported "numeric constant as name"
+  in
+  (* Generic builtin call: moves already-placed argument registers are
+     the caller's job; this emits the call and stores r0 to acc. *)
+  let call_builtin b argc =
+    emit (Insn.Call (Insn.Builtin b, argc));
+    store_acc 0
+  in
+  let binop_call code lhs_reg =
+    (* rt_binop(this=undef, opcode, lhs, acc) *)
+    load_reg 2 lhs_reg;
+    load_acc 3;
+    emit (Insn.Mov (0, Insn.Imm undef));
+    emit (Insn.Mov (1, Insn.Imm (Value.smi code)));
+    call_builtin Builtins.id_rt_binop 4
+  in
+  let to_boolean_acc () =
+    load_acc 1;
+    emit (Insn.Mov (0, Insn.Imm undef));
+    emit (Insn.Call (Insn.Builtin Builtins.id_rt_to_boolean, 2))
+    (* result left in r0, deliberately not stored *)
+  in
+  let context_chain dst depth =
+    emit (Insn.Reload (dst, ctx_slot));
+    for _ = 1 to depth do
+      emit (Insn.Ldr (dst, Insn.mk_addr ~offset:((2 * Heap.context_parent_field) - 1) dst))
+    done
+  in
+
+  (* ---------------- Prologue ---------------- *)
+  emit ~comment:"push fp" (Insn.Spill (1, 15));
+  emit ~comment:"push lr" (Insn.Spill (2, 16));
+  emit ~comment:"closure" (Insn.Spill (0, 0));
+  (* Parameters: machine args r1 = this, r2.. = params. *)
+  emit (Insn.Spill (reg_slot 0, 1));
+  for i = 0 to info.Bytecode.n_params - 1 do
+    emit (Insn.Spill (reg_slot (1 + i), 2 + i))
+  done;
+  emit (Insn.Mov (1, Insn.Imm undef));
+  for r = 1 + info.Bytecode.n_params to n_regs - 1 do
+    emit (Insn.Spill (reg_slot r, 1))
+  done;
+  emit (Insn.Spill (acc_slot, 1));
+  (* Context: the closure's context, or a fresh one when this function
+     allocates slots for captured locals. *)
+  emit (Insn.Ldr (1, Insn.mk_addr ~offset:((2 * Heap.function_context_field) - 1) 0));
+  if info.Bytecode.context_slots > 0 then begin
+    emit (Insn.Mov (2, Insn.Imm (Value.smi info.Bytecode.context_slots)));
+    emit (Insn.Mov (0, Insn.Imm undef));
+    (* rt_create_context(this=undef, parent, slots) -- parent already in r1 *)
+    emit (Insn.Call (Insn.Builtin Builtins.id_rt_create_context, 3));
+    emit (Insn.Spill (ctx_slot, 0))
+  end
+  else emit (Insn.Spill (ctx_slot, 1));
+
+  (* ---------------- Body ---------------- *)
+  Array.iteri
+    (fun pc op ->
+      emit (Insn.Label pc);
+      match op with
+      | Bytecode.Lda_zero ->
+        emit (Insn.Mov (0, Insn.Imm (Value.smi 0)));
+        store_acc 0
+      | Bytecode.Lda_smi n ->
+        emit (Insn.Mov (0, Insn.Imm (Value.smi n)));
+        store_acc 0
+      | Bytecode.Lda_const i ->
+        emit (Insn.Mov (0, Insn.Imm consts.(i)));
+        store_acc 0
+      | Bytecode.Lda_undefined ->
+        emit (Insn.Mov (0, Insn.Imm undef));
+        store_acc 0
+      | Bytecode.Lda_null ->
+        emit (Insn.Mov (0, Insn.Imm (Heap.null_value h)));
+        store_acc 0
+      | Bytecode.Lda_true ->
+        emit (Insn.Mov (0, Insn.Imm true_w));
+        store_acc 0
+      | Bytecode.Lda_false ->
+        emit (Insn.Mov (0, Insn.Imm false_w));
+        store_acc 0
+      | Bytecode.Ldar r ->
+        load_reg 0 r;
+        store_acc 0
+      | Bytecode.Star r ->
+        load_acc 0;
+        emit (Insn.Spill (reg_slot r, 0))
+      | Bytecode.Mov (d, s) ->
+        load_reg 0 s;
+        emit (Insn.Spill (reg_slot d, 0))
+      | Bytecode.Lda_global c -> (
+        match info.Bytecode.consts.(c) with
+        | Bytecode.C_str name ->
+          let cell = Heap.global_cell h name in
+          emit (Insn.Mov (1, Insn.Imm cell));
+          emit (Insn.Ldr (0, Insn.mk_addr ~offset:1 1));
+          store_acc 0
+        | Bytecode.C_num _ -> unsupported "numeric global name")
+      | Bytecode.Sta_global c -> (
+        match info.Bytecode.consts.(c) with
+        | Bytecode.C_str name ->
+          let cell = Heap.global_cell h name in
+          emit (Insn.Mov (1, Insn.Imm cell));
+          load_acc 0;
+          emit (Insn.Str (Insn.mk_addr ~offset:1 1, 0))
+        | Bytecode.C_num _ -> unsupported "numeric global name")
+      | Bytecode.Lda_context (depth, slot) ->
+        context_chain 1 depth;
+        emit
+          (Insn.Ldr
+             (0, Insn.mk_addr ~offset:((2 * (Heap.context_slots_field + slot)) - 1) 1));
+        store_acc 0
+      | Bytecode.Sta_context (depth, slot) ->
+        context_chain 1 depth;
+        load_acc 0;
+        emit
+          (Insn.Str
+             (Insn.mk_addr ~offset:((2 * (Heap.context_slots_field + slot)) - 1) 1, 0))
+      | Bytecode.Binop (op, r, _) -> binop_call (Builtins.binop_code op) r
+      | Bytecode.Test (op, r, _) ->
+        load_reg 2 r;
+        load_acc 3;
+        emit (Insn.Mov (0, Insn.Imm undef));
+        emit (Insn.Mov (1, Insn.Imm (Value.smi (Builtins.binop_code op))));
+        call_builtin Builtins.id_rt_compare 4
+      | Bytecode.Neg_acc _ ->
+        (* -x as x * -1 (preserves -0 semantics). *)
+        load_acc 2;
+        emit (Insn.Mov (3, Insn.Imm (Value.smi (-1))));
+        emit (Insn.Mov (0, Insn.Imm undef));
+        emit (Insn.Mov (1, Insn.Imm (Value.smi (Builtins.binop_code Ast.Mul))));
+        call_builtin Builtins.id_rt_binop 4
+      | Bytecode.Bitnot_acc _ ->
+        load_acc 2;
+        emit (Insn.Mov (3, Insn.Imm (Value.smi (-1))));
+        emit (Insn.Mov (0, Insn.Imm undef));
+        emit (Insn.Mov (1, Insn.Imm (Value.smi (Builtins.binop_code Ast.Bit_xor))));
+        call_builtin Builtins.id_rt_binop 4
+      | Bytecode.Not_acc ->
+        to_boolean_acc ();
+        let l = fresh_label () in
+        emit (Insn.Cmp (0, Insn.Imm false_w));
+        emit (Insn.Mov (0, Insn.Imm true_w));
+        emit (Insn.Bcond (Insn.Eq, l));
+        emit (Insn.Mov (0, Insn.Imm false_w));
+        emit (Insn.Label l);
+        store_acc 0
+      | Bytecode.Typeof_acc ->
+        load_acc 1;
+        emit (Insn.Mov (0, Insn.Imm undef));
+        call_builtin Builtins.id_rt_typeof 2
+      | Bytecode.Jump t -> emit (Insn.B t)
+      | Bytecode.Jump_if_false t ->
+        to_boolean_acc ();
+        emit (Insn.Cmp (0, Insn.Imm false_w));
+        emit (Insn.Bcond (Insn.Eq, t))
+      | Bytecode.Jump_if_true t ->
+        to_boolean_acc ();
+        emit (Insn.Cmp (0, Insn.Imm false_w));
+        emit (Insn.Bcond (Insn.Ne, t))
+      | Bytecode.Get_named (r, c, _) ->
+        load_reg 1 r;
+        emit (Insn.Mov (2, Insn.Imm (name_of c)));
+        emit (Insn.Mov (0, Insn.Imm undef));
+        call_builtin Builtins.id_rt_get_named 3
+      | Bytecode.Set_named (r, c, _) ->
+        load_reg 1 r;
+        emit (Insn.Mov (2, Insn.Imm (name_of c)));
+        load_acc 3;
+        emit (Insn.Mov (0, Insn.Imm undef));
+        emit (Insn.Call (Insn.Builtin Builtins.id_rt_set_named, 4))
+      | Bytecode.Get_keyed (r, _) ->
+        load_reg 1 r;
+        load_acc 2;
+        emit (Insn.Mov (0, Insn.Imm undef));
+        call_builtin Builtins.id_rt_get_keyed 3
+      | Bytecode.Set_keyed (r, k, _) ->
+        load_reg 1 r;
+        load_reg 2 k;
+        load_acc 3;
+        emit (Insn.Mov (0, Insn.Imm undef));
+        emit (Insn.Call (Insn.Builtin Builtins.id_rt_set_keyed, 4))
+      | Bytecode.Create_array cap ->
+        emit (Insn.Mov (0, Insn.Imm undef));
+        emit (Insn.Mov (1, Insn.Imm (Value.smi cap)));
+        call_builtin Builtins.id_rt_create_array 2
+      | Bytecode.Create_object ->
+        emit (Insn.Mov (0, Insn.Imm undef));
+        call_builtin Builtins.id_rt_create_object 1
+      | Bytecode.Create_closure fid ->
+        emit (Insn.Mov (0, Insn.Imm undef));
+        emit (Insn.Mov (1, Insn.Imm (Value.smi fid)));
+        emit (Insn.Reload (2, ctx_slot));
+        call_builtin Builtins.id_rt_create_closure 3
+      | Bytecode.Call (callee, first, n, _) ->
+        if n > 5 then unsupported "too many call arguments for the baseline";
+        (* rt_call(this=undef, callee, receiver=undef, args...) *)
+        emit (Insn.Mov (0, Insn.Imm undef));
+        load_reg 1 callee;
+        emit (Insn.Mov (2, Insn.Imm undef));
+        for i = 0 to n - 1 do
+          load_reg (3 + i) (first + i)
+        done;
+        call_builtin Builtins.id_rt_call (3 + n)
+      | Bytecode.Call_method (recv, c, first, n, _) ->
+        if n > 5 then unsupported "too many method arguments for the baseline";
+        (* rt_call_method(this=undef, recv, name, args...) *)
+        emit (Insn.Mov (0, Insn.Imm undef));
+        load_reg 1 recv;
+        emit (Insn.Mov (2, Insn.Imm (name_of c)));
+        for i = 0 to n - 1 do
+          load_reg (3 + i) (first + i)
+        done;
+        call_builtin Builtins.id_rt_call_method (3 + n)
+      | Bytecode.Construct (callee, first, n, _) ->
+        if n > 5 then unsupported "too many constructor arguments for the baseline";
+        emit (Insn.Mov (0, Insn.Imm undef));
+        load_reg 1 callee;
+        for i = 0 to n - 1 do
+          load_reg (2 + i) (first + i)
+        done;
+        call_builtin Builtins.id_rt_construct (2 + n)
+      | Bytecode.Return ->
+        load_acc 0;
+        emit ~comment:"pop fp" (Insn.Reload (15, 1));
+        emit ~comment:"pop lr" (Insn.Reload (16, 2));
+        emit Insn.Ret)
+    info.Bytecode.code;
+  Code.assemble ~code_id ~name:(info.Bytecode.name ^ "~baseline") ~arch
+    ~deopts:[||] ~gp_slots:(ctx_slot + 1) ~fp_slots:0 ~base_addr
+    (List.rev !out)

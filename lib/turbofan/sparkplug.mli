@@ -1,0 +1,22 @@
+(** SparkPlug-style baseline compiler (paper Section I-A).
+
+    A non-optimizing single-pass translation from bytecode to machine
+    code: interpreter registers live in frame slots, the accumulator in
+    a frame slot, and every semantic operation goes through the generic
+    runtime builtins.  No speculation, no type feedback, no
+    deoptimization checks — the code can never deopt, only run slower
+    than TurboFan output.  Like the real SparkPlug, it mostly removes
+    interpreter dispatch overhead. *)
+
+exception Unsupported of string
+
+val compile :
+  code_id:int ->
+  base_addr:int ->
+  arch:Arch.t ->
+  Runtime.t ->
+  Runtime.func_rt ->
+  Code.t
+(** Raises {!Unsupported} for shapes the baseline does not handle
+    (e.g. calls with more arguments than the generic call builtin can
+    take). *)

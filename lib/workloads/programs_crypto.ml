@@ -1,0 +1,120 @@
+(* Cryptography benchmarks: bit-mixing rounds, table-based AES-like
+   substitution, and string hashing — the paper's CRYP/AES2/HASH
+   analogs.  These are overflow-check and SMI-heavy. *)
+
+let cryp = {|
+// SHA1-style word mixing over a message schedule (bitops on SMIs,
+// values kept in 24-bit range so overflow checks rarely fire).
+var w = [];
+(function() { for (var i = 0; i < 80; i++) w.push((i * 0x9E37) & 0xFFFFFF); })();
+function rotl(x, n) { return ((x << n) | (x >>> (24 - n))) & 0xFFFFFF; }
+function rounds() {
+  for (var i = 16; i < 80; i++) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  var a = 0x674523; var b = 0xEFCDAB; var c = 0x98BADC; var d = 0x103254; var e = 0xC3D2E1;
+  for (var t = 0; t < 80; t++) {
+    var f = 0;
+    if (t < 20) f = (b & c) | ((~b) & d);
+    else if (t < 40) f = b ^ c ^ d;
+    else if (t < 60) f = (b & c) | (b & d) | (c & d);
+    else f = b ^ c ^ d;
+    var tmp = (rotl(a, 5) + f + e + w[t] + 0x5A8279) & 0xFFFFFF;
+    e = d; d = c; c = rotl(b, 6); b = a; a = tmp;
+  }
+  return (a + b + c + d + e) & 0xFFFFFF;
+}
+function bench() {
+  var chk = 0;
+  for (var r = 0; r < 4; r++) chk = (chk ^ rounds()) & 0xFFFFFF;
+  return chk;
+}
+|}
+
+let aes2 = {|
+// AES-like SubBytes/ShiftRows/AddRoundKey on a 16-byte state with a
+// computed S-box (table lookups: keyed loads with SMI indices).
+var sbox = [];
+(function() {
+  for (var i = 0; i < 256; i++) sbox.push(((i * 7 + 99) ^ (i >> 3)) & 0xFF);
+})();
+var state = [];
+var key = [];
+(function() {
+  for (var i = 0; i < 16; i++) { state.push((i * 17) & 0xFF); key.push((i * 29 + 5) & 0xFF); }
+})();
+function round() {
+  for (var i = 0; i < 16; i++) state[i] = sbox[state[i]];
+  var t1 = state[1]; state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t1;
+  var t2 = state[2]; state[2] = state[10]; state[10] = t2;
+  var t6 = state[6]; state[6] = state[14]; state[14] = t6;
+  var t3 = state[3]; state[3] = state[15]; state[15] = state[11]; state[11] = state[7]; state[7] = t3;
+  for (var j = 0; j < 16; j++) state[j] = (state[j] ^ key[j]) & 0xFF;
+}
+function bench() {
+  for (var r = 0; r < 60; r++) round();
+  var chk = 0;
+  for (var i = 0; i < 16; i++) chk = (chk * 31 + state[i]) % 1000003;
+  return chk;
+}
+|}
+
+let hash = {|
+// djb2/FNV-style hashing of strings (paper: HASH).
+var words = [];
+(function() {
+  var base = "abcdefghijklmnopqrstuvwxyz";
+  for (var i = 0; i < 24; i++) {
+    words.push(base.substring(i % 13, 13 + (i % 13)) + i);
+  }
+})();
+function djb2(s) {
+  var h = 5381;
+  for (var i = 0; i < s.length; i++) h = ((h * 33) + s.charCodeAt(i)) & 0xFFFFFF;
+  return h;
+}
+function fnv(s) {
+  var h = 0x811C9D;
+  for (var i = 0; i < s.length; i++) h = ((h ^ s.charCodeAt(i)) * 0x193) & 0xFFFFFF;
+  return h;
+}
+function bench() {
+  var chk = 0;
+  for (var i = 0; i < words.length; i++) {
+    chk = (chk + djb2(words[i]) + fnv(words[i])) & 0xFFFFFF;
+  }
+  return chk;
+}
+|}
+
+let chacha_ish = {|
+// ChaCha-style quarter rounds on a 16-word SMI state (24-bit lanes).
+var st = [];
+(function() { for (var i = 0; i < 16; i++) st.push((i * 0x1357 + 11) & 0xFFFFFF); })();
+function rot(x, n) { return ((x << n) | (x >>> (24 - n))) & 0xFFFFFF; }
+function quarter(a, b, c, d) {
+  st[a] = (st[a] + st[b]) & 0xFFFFFF; st[d] = rot(st[d] ^ st[a], 13);
+  st[c] = (st[c] + st[d]) & 0xFFFFFF; st[b] = rot(st[b] ^ st[c], 9);
+  st[a] = (st[a] + st[b]) & 0xFFFFFF; st[d] = rot(st[d] ^ st[a], 5);
+  st[c] = (st[c] + st[d]) & 0xFFFFFF; st[b] = rot(st[b] ^ st[c], 3);
+}
+function bench() {
+  for (var r = 0; r < 12; r++) {
+    quarter(0, 4, 8, 12); quarter(1, 5, 9, 13);
+    quarter(2, 6, 10, 14); quarter(3, 7, 11, 15);
+    quarter(0, 5, 10, 15); quarter(1, 6, 11, 12);
+    quarter(2, 7, 8, 13); quarter(3, 4, 9, 14);
+  }
+  var chk = 0;
+  for (var i = 0; i < 16; i++) chk = (chk ^ st[i]) & 0xFFFFFF;
+  return chk;
+}
+|}
+
+let all =
+  [
+    ("CRYP", "SHA1-style word mixing rounds", cryp);
+    ("AES2", "AES-like substitution rounds (table lookups)", aes2);
+    ("HASH", "djb2 + FNV string hashing", hash);
+    ("CHA", "ChaCha-style quarter rounds", chacha_ish);
+  ]

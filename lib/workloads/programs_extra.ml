@@ -1,0 +1,231 @@
+(* Additional JetStream2-flavored benchmarks rounding out the suite:
+   more math, string and object workloads so each category aggregates
+   over several programs (the paper's suite has 51). *)
+
+let tridiag = {|
+// Thomas algorithm for a tridiagonal system (floats).
+var TN = 48;
+var ta = []; var tb = []; var tc = []; var td = [];
+var cp = []; var dp = []; var xs = [];
+(function() {
+  for (var i = 0; i < TN; i++) {
+    ta.push(i == 0 ? 0.0 : -1.0);
+    tb.push(4.0 + (i % 3) * 0.5);
+    tc.push(i == TN - 1 ? 0.0 : -1.0);
+    td.push(1.0 + (i % 7) * 0.25);
+    cp.push(0.0); dp.push(0.0); xs.push(0.0);
+  }
+})();
+function solve() {
+  cp[0] = tc[0] / tb[0];
+  dp[0] = td[0] / tb[0];
+  for (var i = 1; i < TN; i++) {
+    var m = tb[i] - ta[i] * cp[i - 1];
+    cp[i] = tc[i] / m;
+    dp[i] = (td[i] - ta[i] * dp[i - 1]) / m;
+  }
+  xs[TN - 1] = dp[TN - 1];
+  for (var j = TN - 2; j >= 0; j--) {
+    xs[j] = dp[j] - cp[j] * xs[j + 1];
+  }
+}
+function bench() {
+  solve();
+  var chk = 0.0;
+  for (var i = 0; i < TN; i++) chk = chk + xs[i] * (i + 1);
+  return Math.floor(chk * 10000);
+}
+|}
+
+let kmeans = {|
+// One k-means assignment+update step in 2D (floats + int indices).
+var KP = 60; var KC = 4;
+var px = []; var py = []; var cx = []; var cy = []; var assign = [];
+(function() {
+  var s = 11;
+  for (var i = 0; i < KP; i++) {
+    s = (s * 131 + 7) % 1021;
+    px.push(s * 0.01);
+    s = (s * 131 + 7) % 1021;
+    py.push(s * 0.01);
+    assign.push(0);
+  }
+  for (var c = 0; c < KC; c++) { cx.push(c * 2.5); cy.push(10.0 - c * 2.5); }
+})();
+function step() {
+  for (var i = 0; i < KP; i++) {
+    var best = 0;
+    var bestd = 1e18;
+    for (var c = 0; c < KC; c++) {
+      var dx = px[i] - cx[c];
+      var dy = py[i] - cy[c];
+      var d = dx * dx + dy * dy;
+      if (d < bestd) { bestd = d; best = c; }
+    }
+    assign[i] = best;
+  }
+  for (var c2 = 0; c2 < KC; c2++) {
+    var sx = 0.0; var sy = 0.0; var n = 0;
+    for (var j = 0; j < KP; j++) {
+      if (assign[j] == c2) { sx = sx + px[j]; sy = sy + py[j]; n = n + 1; }
+    }
+    if (n > 0) { cx[c2] = sx / n; cy[c2] = sy / n; }
+  }
+}
+function bench() {
+  step();
+  var chk = 0;
+  for (var i = 0; i < KP; i++) chk = (chk + assign[i] * (i + 3)) % 100003;
+  return chk;
+}
+|}
+
+let editdist = {|
+// Levenshtein distance over short words (string + 2D-as-1D array).
+var words = [];
+(function() {
+  var base = ["kitten", "sitting", "flaw", "lawn", "intention", "execution",
+              "saturday", "sunday"];
+  for (var i = 0; i < base.length; i++) words.push(base[i]);
+})();
+var dmat = [];
+(function() { for (var i = 0; i < 400; i++) dmat.push(0); })();
+function lev(a, b) {
+  var n = a.length; var m = b.length;
+  var w = m + 1;
+  for (var j = 0; j <= m; j++) dmat[j] = j;
+  for (var i = 1; i <= n; i++) {
+    dmat[i * w] = i;
+    for (var j2 = 1; j2 <= m; j2++) {
+      var cost = a.charCodeAt(i - 1) == b.charCodeAt(j2 - 1) ? 0 : 1;
+      var del = dmat[(i - 1) * w + j2] + 1;
+      var ins = dmat[i * w + j2 - 1] + 1;
+      var sub = dmat[(i - 1) * w + j2 - 1] + cost;
+      var best = del;
+      if (ins < best) best = ins;
+      if (sub < best) best = sub;
+      dmat[i * w + j2] = best;
+    }
+  }
+  return dmat[n * w + m];
+}
+function bench() {
+  var chk = 0;
+  for (var i = 0; i + 1 < words.length; i = i + 2) {
+    chk = (chk + lev(words[i], words[i + 1]) * (i + 1)) % 100003;
+  }
+  return chk;
+}
+|}
+
+let linklist = {|
+// Singly-linked-list churn: build, reverse, sum (pointer-heavy objects).
+function Cons(v, next) { this.v = v; this.next = next; }
+function build(n) {
+  var head = null;
+  for (var i = 0; i < n; i++) head = new Cons((i * 7) % 97, head);
+  return head;
+}
+function reverse(list) {
+  var out = null;
+  while (list != null) {
+    out = new Cons(list.v, out);
+    list = list.next;
+  }
+  return out;
+}
+function total(list) {
+  var s = 0;
+  while (list != null) { s = s + list.v; list = list.next; }
+  return s;
+}
+function bench() {
+  var l = build(80);
+  var r = reverse(l);
+  return total(l) * 3 + total(r);
+}
+|}
+
+let statemach = {|
+// Table-driven state machine over a string (keyed loads + charCodeAt).
+var trans = [];
+(function() {
+  // 8 states x 4 input classes.
+  for (var i = 0; i < 32; i++) trans.push((i * 5 + 3) % 8);
+})();
+var tape = "";
+(function() {
+  var s = 3;
+  var alpha = "abcd";
+  for (var i = 0; i < 160; i++) {
+    s = (s * 131 + 17) % 1021;
+    tape = tape + alpha.charAt(s % 4);
+  }
+})();
+function run() {
+  var state = 0;
+  var visits = 0;
+  for (var i = 0; i < tape.length; i++) {
+    var cls = tape.charCodeAt(i) - 97;
+    state = trans[state * 4 + cls];
+    if (state == 5) visits = visits + 1;
+  }
+  return state * 1000 + visits;
+}
+function bench() { return run(); }
+|}
+
+let ini_parse = {|
+// INI-style key=value parser (string scanning + object population).
+var ini = "";
+(function() {
+  for (var s = 0; s < 4; s++) {
+    ini = ini + "[section" + s + "]\n";
+    for (var k = 0; k < 5; k++) {
+      ini = ini + "key" + k + "=" + (s * 17 + k * 3) + "\n";
+    }
+  }
+})();
+function parse(text) {
+  var lines = text.split("\n");
+  var sections = [];
+  var current = null;
+  for (var i = 0; i < lines.length; i++) {
+    var line = lines[i];
+    if (line.length == 0) continue;
+    if (line.charAt(0) == "[") {
+      current = { name: line.substring(1, line.length - 1), count: 0, sum: 0 };
+      sections.push(current);
+    } else {
+      var eq = line.indexOf("=");
+      if (eq > 0 && current != null) {
+        current.count = current.count + 1;
+        current.sum = current.sum + parseInt(line.substring(eq + 1, line.length), 10);
+      }
+    }
+  }
+  return sections;
+}
+function bench() {
+  var secs = parse(ini);
+  var chk = 0;
+  for (var i = 0; i < secs.length; i++) {
+    chk = (chk + secs[i].sum * (i + 1) + secs[i].count + secs[i].name.length) % 100003;
+  }
+  return chk;
+}
+|}
+
+let all_math = [
+  ("TRIDIAG", "Thomas algorithm on a tridiagonal system", tridiag);
+  ("KMEANS", "k-means assignment/update step", kmeans);
+]
+
+let all_string = [ ("EDIST", "Levenshtein distance over words", editdist) ]
+
+let all_objects = [
+  ("LIST", "linked-list build/reverse/sum churn", linklist);
+  ("FSM", "table-driven state machine over a string", statemach);
+]
+
+let all_parse = [ ("INI", "INI-style key=value parser", ini_parse) ]

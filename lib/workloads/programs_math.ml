@@ -1,0 +1,212 @@
+(* Mathematical benchmarks (JetStream2-style: float kernels, stencils),
+   including analogs of navier-stokes (NS) and gaussian-blur (BLUR). *)
+
+let ns = {|
+// Simplified 2D diffusion step (navier-stokes core loop shape).
+var GN = 18;
+var SZ = (GN + 2) * (GN + 2);
+var u = []; var u0 = [];
+(function() {
+  for (var i = 0; i < SZ; i++) {
+    u.push(0.0);
+    u0.push(((i * 37) % 100) * 0.01);
+  }
+})();
+function lin_solve(x, x0, a, c, n) {
+  for (var k = 0; k < 4; k++) {
+    for (var j = 1; j <= n; j++) {
+      for (var i = 1; i <= n; i++) {
+        var idx = i + (n + 2) * j;
+        x[idx] = (x0[idx] + a * (x[idx - 1] + x[idx + 1] + x[idx - (n + 2)] + x[idx + (n + 2)])) / c;
+      }
+    }
+  }
+}
+function bench() {
+  lin_solve(u, u0, 0.3, 2.2, GN);
+  var chk = 0.0;
+  for (var i = 0; i < SZ; i++) chk = chk + u[i];
+  return Math.floor(chk * 1000);
+}
+|}
+
+let fft = {|
+// Iterative radix-2 FFT on 64 points.
+var FN = 64;
+var re = []; var im = [];
+(function() {
+  for (var i = 0; i < FN; i++) {
+    re.push(Math.sin(i * 0.7) * 10.0);
+    im.push(0.0);
+  }
+})();
+function reverse_bits(x, bits) {
+  var y = 0;
+  for (var i = 0; i < bits; i++) {
+    y = (y << 1) | (x & 1);
+    x = x >> 1;
+  }
+  return y;
+}
+function fft(rex, imx, n) {
+  var bits = 6;
+  for (var i = 0; i < n; i++) {
+    var j = reverse_bits(i, bits);
+    if (j > i) {
+      var tr = rex[i]; rex[i] = rex[j]; rex[j] = tr;
+      var ti = imx[i]; imx[i] = imx[j]; imx[j] = ti;
+    }
+  }
+  for (var size = 2; size <= n; size = size * 2) {
+    var half = size >> 1;
+    var step = 6.283185307179586 / size;
+    for (var base = 0; base < n; base = base + size) {
+      for (var k = 0; k < half; k++) {
+        var ang = step * k;
+        var wr = Math.cos(ang);
+        var wi = -Math.sin(ang);
+        var i1 = base + k;
+        var i2 = i1 + half;
+        var xr = rex[i2] * wr - imx[i2] * wi;
+        var xi = rex[i2] * wi + imx[i2] * wr;
+        rex[i2] = rex[i1] - xr;
+        imx[i2] = imx[i1] - xi;
+        rex[i1] = rex[i1] + xr;
+        imx[i1] = imx[i1] + xi;
+      }
+    }
+  }
+}
+function bench() {
+  fft(re, im, FN);
+  var chk = 0.0;
+  for (var i = 0; i < FN; i++) chk = chk + re[i] * re[i] + im[i] * im[i];
+  return Math.floor(chk);
+}
+|}
+
+let nbody = {|
+// Planar n-body step with object-based bodies (floats + properties).
+function Body(x, y, vx, vy, m) {
+  this.x = x; this.y = y; this.vx = vx; this.vy = vy; this.m = m;
+}
+var bodies = [];
+(function() {
+  for (var i = 0; i < 6; i++) {
+    bodies.push(new Body(i * 1.5, 6.0 - i, 0.01 * i, -0.02 * i, 1.0 + i * 0.3));
+  }
+})();
+function advance(dt) {
+  var n = bodies.length;
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    for (var j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x;
+      var dy = bi.y - bj.y;
+      var d2 = dx * dx + dy * dy + 0.01;
+      var mag = dt / (d2 * Math.sqrt(d2));
+      bi.vx = bi.vx - dx * bj.m * mag;
+      bi.vy = bi.vy - dy * bj.m * mag;
+      bj.vx = bj.vx + dx * bi.m * mag;
+      bj.vy = bj.vy + dy * bi.m * mag;
+    }
+  }
+  for (var k = 0; k < n; k++) {
+    var b = bodies[k];
+    b.x = b.x + dt * b.vx;
+    b.y = b.y + dt * b.vy;
+  }
+}
+function bench() {
+  for (var s = 0; s < 12; s++) advance(0.01);
+  var chk = 0.0;
+  for (var i = 0; i < bodies.length; i++) {
+    chk = chk + bodies[i].x * 3.0 + bodies[i].vy;
+  }
+  return Math.floor(chk * 100000);
+}
+|}
+
+let mandel = {|
+// Mandelbrot escape iterations over a small grid (float-heavy).
+function mandel_point(cr, ci, limit) {
+  var zr = 0.0; var zi = 0.0;
+  var i = 0;
+  while (i < limit && zr * zr + zi * zi < 4.0) {
+    var t = zr * zr - zi * zi + cr;
+    zi = 2.0 * zr * zi + ci;
+    zr = t;
+    i++;
+  }
+  return i;
+}
+function bench() {
+  var chk = 0;
+  for (var y = 0; y < 12; y++) {
+    for (var x = 0; x < 12; x++) {
+      chk = (chk + mandel_point(-2.0 + x * 0.22, -1.2 + y * 0.2, 40)) % 1000003;
+    }
+  }
+  return chk;
+}
+|}
+
+let prime = {|
+// Sieve of Eratosthenes (SMI arrays, boundary checks).
+var LIMIT = 1500;
+var sieve = [];
+(function() { for (var i = 0; i <= LIMIT; i++) sieve.push(0); })();
+function count_primes(n) {
+  for (var i = 0; i <= n; i++) sieve[i] = 1;
+  sieve[0] = 0; sieve[1] = 0;
+  for (var p = 2; p * p <= n; p++) {
+    if (sieve[p] == 1) {
+      for (var q = p * p; q <= n; q = q + p) sieve[q] = 0;
+    }
+  }
+  var c = 0;
+  for (var k = 2; k <= n; k++) c = c + sieve[k];
+  return c;
+}
+function bench() { return count_primes(LIMIT); }
+|}
+
+let blur = {|
+// 3x3 gaussian blur on a float image (paper: BLUR).
+var BW = 24; var BH = 24;
+var src_img = []; var dst_img = [];
+(function() {
+  for (var i = 0; i < BW * BH; i++) {
+    src_img.push(((i * 53) % 256) * 1.0);
+    dst_img.push(0.0);
+  }
+})();
+function blur() {
+  for (var y = 1; y < BH - 1; y++) {
+    for (var x = 1; x < BW - 1; x++) {
+      var i = y * BW + x;
+      var s = src_img[i] * 0.25
+        + (src_img[i - 1] + src_img[i + 1] + src_img[i - BW] + src_img[i + BW]) * 0.125
+        + (src_img[i - BW - 1] + src_img[i - BW + 1] + src_img[i + BW - 1] + src_img[i + BW + 1]) * 0.0625;
+      dst_img[i] = s;
+    }
+  }
+}
+function bench() {
+  blur();
+  var chk = 0.0;
+  for (var i = 0; i < BW * BH; i++) chk = chk + dst_img[i];
+  return Math.floor(chk);
+}
+|}
+
+let all =
+  [
+    ("NS", "navier-stokes-style linear solver (floats)", ns);
+    ("FFT", "radix-2 FFT on 64 points", fft);
+    ("NBODY", "n-body step (float properties on objects)", nbody);
+    ("MANDEL", "mandelbrot escape iterations", mandel);
+    ("PRIME", "sieve of Eratosthenes (SMI)", prime);
+    ("BLUR", "gaussian blur on a float image", blur);
+  ]

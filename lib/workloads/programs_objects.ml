@@ -1,0 +1,248 @@
+(* Object-oriented benchmarks: property-heavy workloads where the
+   paper's Type (map) checks dominate — analogs of Richards (RICH),
+   Splay (SPL), DeltaBlue (DELT) and Raytrace (RAY). *)
+
+let richards = {|
+// Simplified Richards: a round-robin scheduler of task objects with
+// per-kind behavior dispatched through prototype methods.
+function Packet(kind, datum) { this.kind = kind; this.datum = datum; this.link = null; }
+function Task(id, priority) {
+  this.id = id;
+  this.priority = priority;
+  this.queue = null;
+  this.state = 0;
+  this.work_done = 0;
+}
+Task.prototype.enqueue = function(p) {
+  p.link = null;
+  if (this.queue == null) this.queue = p;
+  else {
+    var q = this.queue;
+    while (q.link != null) q = q.link;
+    q.link = p;
+  }
+};
+Task.prototype.dequeue = function() {
+  var p = this.queue;
+  if (p != null) this.queue = p.link;
+  return p;
+};
+Task.prototype.run = function(sched) {
+  var p = this.dequeue();
+  if (p == null) return;
+  this.work_done = this.work_done + p.datum;
+  this.state = (this.state + p.kind) % 7;
+  var target = (this.id + 1) % sched.tasks.length;
+  sched.tasks[target].enqueue(new Packet((p.kind + 1) % 3, (p.datum * 7 + 1) % 1000));
+};
+function Scheduler() { this.tasks = []; }
+Scheduler.prototype.schedule = function(rounds) {
+  for (var r = 0; r < rounds; r++) {
+    for (var i = 0; i < this.tasks.length; i++) this.tasks[i].run(this);
+  }
+};
+function bench() {
+  var sched = new Scheduler();
+  for (var i = 0; i < 4; i++) sched.tasks.push(new Task(i, i % 3));
+  for (var j = 0; j < 4; j++) sched.tasks[j].enqueue(new Packet(j % 3, j * 11 + 1));
+  sched.schedule(30);
+  var chk = 0;
+  for (var k = 0; k < 4; k++) {
+    chk = (chk + sched.tasks[k].work_done * 13 + sched.tasks[k].state) % 1000003;
+  }
+  return chk;
+}
+|}
+
+let splay = {|
+// Splay-tree insert/find (pointer chasing through object fields).
+function Node(key, value) { this.key = key; this.value = value; this.left = null; this.right = null; }
+var root = null;
+function insert(key, value) {
+  if (root == null) { root = new Node(key, value); return; }
+  splay(key);
+  if (root.key == key) return;
+  var node = new Node(key, value);
+  if (key > root.key) {
+    node.left = root; node.right = root.right; root.right = null;
+  } else {
+    node.right = root; node.left = root.left; root.left = null;
+  }
+  root = node;
+}
+function splay(key) {
+  var dummy = new Node(0, 0);
+  var left = dummy; var right = dummy;
+  var current = root;
+  var done = false;
+  while (!done) {
+    if (key < current.key) {
+      if (current.left == null) done = true;
+      else {
+        if (key < current.left.key) {
+          var tmp = current.left;
+          current.left = tmp.right;
+          tmp.right = current;
+          current = tmp;
+          if (current.left == null) { done = true; }
+        }
+        if (!done) { right.left = current; right = current; current = current.left; }
+      }
+    } else if (key > current.key) {
+      if (current.right == null) done = true;
+      else {
+        if (key > current.right.key) {
+          var tmp2 = current.right;
+          current.right = tmp2.left;
+          tmp2.left = current;
+          current = tmp2;
+          if (current.right == null) { done = true; }
+        }
+        if (!done) { left.right = current; left = current; current = current.right; }
+      }
+    } else done = true;
+  }
+  left.right = current.left;
+  right.left = current.right;
+  current.left = dummy.right;
+  current.right = dummy.left;
+  root = current;
+}
+function find(key) {
+  if (root == null) return null;
+  splay(key);
+  if (root.key == key) return root;
+  return null;
+}
+function bench() {
+  root = null;
+  var s = 5;
+  for (var i = 0; i < 60; i++) {
+    s = (s * 131 + 7) % 1021;
+    insert(s, i);
+  }
+  var chk = 0;
+  s = 5;
+  for (var j = 0; j < 60; j++) {
+    s = (s * 131 + 7) % 1021;
+    var n = find(s);
+    if (n != null) chk = (chk + n.value) % 1000003;
+  }
+  return chk;
+}
+|}
+
+let deltablue = {|
+// DeltaBlue-flavored constraint propagation: a chain of scaled
+// variables re-planned each iteration.
+function Variable(value) { this.value = value; this.stay = false; }
+function ScaleConstraint(src, dst, scale, offset) {
+  this.src = src; this.dst = dst; this.scale = scale; this.offset = offset;
+}
+ScaleConstraint.prototype.execute = function() {
+  this.dst.value = (this.src.value * this.scale + this.offset) % 100003;
+};
+var vars = [];
+var constraints = [];
+(function() {
+  for (var i = 0; i < 12; i++) vars.push(new Variable(i * 3 + 1));
+  for (var j = 0; j + 1 < 12; j++) {
+    constraints.push(new ScaleConstraint(vars[j], vars[j + 1], 2 + (j % 3), j));
+  }
+})();
+function propagate() {
+  for (var i = 0; i < constraints.length; i++) constraints[i].execute();
+}
+function bench() {
+  vars[0].value = 17;
+  for (var r = 0; r < 20; r++) propagate();
+  var chk = 0;
+  for (var i = 0; i < vars.length; i++) chk = (chk + vars[i].value) % 1000003;
+  return chk;
+}
+|}
+
+let raytrace = {|
+// Tiny sphere raytracer (objects + float math + method dispatch).
+function V3(x, y, z) { this.x = x; this.y = y; this.z = z; }
+V3.prototype.dot = function(o) { return this.x * o.x + this.y * o.y + this.z * o.z; };
+V3.prototype.sub = function(o) { return new V3(this.x - o.x, this.y - o.y, this.z - o.z); };
+function Sphere(cx, cy, cz, r, shade) {
+  this.center = new V3(cx, cy, cz);
+  this.radius = r;
+  this.shade = shade;
+}
+Sphere.prototype.intersect = function(orig, dir) {
+  var oc = orig.sub(this.center);
+  var b = 2.0 * oc.dot(dir);
+  var c = oc.dot(oc) - this.radius * this.radius;
+  var disc = b * b - 4.0 * c;
+  if (disc < 0.0) return -1.0;
+  var t = (-b - Math.sqrt(disc)) * 0.5;
+  if (t > 0.001) return t;
+  return -1.0;
+}
+var scene = [];
+(function() {
+  scene.push(new Sphere(0.0, 0.0, 5.0, 1.0, 50));
+  scene.push(new Sphere(1.5, 0.5, 6.0, 0.8, 120));
+  scene.push(new Sphere(-1.5, -0.5, 4.5, 0.6, 200));
+})();
+function trace(px, py) {
+  var orig = new V3(0.0, 0.0, 0.0);
+  var len = Math.sqrt(px * px + py * py + 1.0);
+  var dir = new V3(px / len, py / len, 1.0 / len);
+  var best = 1e9;
+  var shade = 0;
+  for (var i = 0; i < scene.length; i++) {
+    var t = scene[i].intersect(orig, dir);
+    if (t > 0.0 && t < best) { best = t; shade = scene[i].shade; }
+  }
+  return shade;
+}
+function bench() {
+  var chk = 0;
+  for (var y = 0; y < 10; y++) {
+    for (var x = 0; x < 10; x++) {
+      chk = (chk + trace(-0.5 + x * 0.1, -0.5 + y * 0.1)) % 1000003;
+    }
+  }
+  return chk;
+}
+|}
+
+let tree_churn = {|
+// Binary tree allocation and traversal (GC pressure, like splay's
+// memory behavior in the paper's suite).
+function TNode(depth) {
+  this.depth = depth;
+  if (depth > 0) {
+    this.left = new TNode(depth - 1);
+    this.right = new TNode(depth - 1);
+  } else {
+    this.left = null;
+    this.right = null;
+  }
+}
+function check_tree(node) {
+  if (node.left == null) return 1;
+  return 1 + check_tree(node.left) + check_tree(node.right);
+}
+function bench() {
+  var chk = 0;
+  for (var r = 0; r < 3; r++) {
+    var t = new TNode(5);
+    chk = (chk + check_tree(t)) % 1000003;
+  }
+  return chk;
+}
+|}
+
+let all =
+  [
+    ("RICH", "Richards-style task scheduler", richards);
+    ("SPL", "splay tree insert/find", splay);
+    ("DELT", "DeltaBlue-style constraint propagation", deltablue);
+    ("RAY", "sphere raytracer (objects + floats)", raytrace);
+    ("TREE", "binary tree allocation churn", tree_churn);
+  ]

@@ -1,0 +1,191 @@
+(* Regular-expression and language-parsing benchmarks.  Regex work runs
+   inside the engine's regex builtin ("Irregexp"), so these show almost
+   no deopt-check overhead — one of the paper's category findings.
+   MICL is the Multi-Inspector-Code-Load analog: repeated parsing of
+   synthesized structured text. *)
+
+let regex_match = {|
+var re_date = new RegExp("(\\d+)-(\\d+)-(\\d+)");
+var re_word = new RegExp("[a-z]+[0-9]+");
+var lines = [];
+(function() {
+  for (var i = 0; i < 10; i++) {
+    lines.push("entry" + i + " on 2021-0" + (i % 9 + 1) + "-1" + (i % 9) + " tag" + i);
+    lines.push("no match here at all " + i);
+  }
+})();
+function bench() {
+  var chk = 0;
+  for (var i = 0; i < lines.length; i++) {
+    if (re_date.test(lines[i])) chk = chk + 1;
+    if (re_word.test(lines[i])) chk = chk + 2;
+  }
+  return chk;
+}
+|}
+
+let regex_dna = {|
+var motifs = [];
+var seq = "";
+(function() {
+  motifs.push(new RegExp("agggtaaa|tttaccct"));
+  motifs.push(new RegExp("[cgt]gggtaaa|tttaccc[acg]"));
+  motifs.push(new RegExp("aggg[acg]aaa|ttt[cgt]ccct"));
+  var bases = "acgt";
+  var s = 7;
+  for (var i = 0; i < 240; i++) {
+    s = (s * 131 + 17) % 1021;
+    seq = seq + bases.charAt(s % 4);
+  }
+  seq = seq + "agggtaaa" + seq.substring(0, 40) + "tttaccct";
+})();
+function bench() {
+  var chk = 0;
+  for (var m = 0; m < motifs.length; m++) {
+    var r = motifs[m].exec(seq);
+    if (r != null) chk = (chk + r.index + r[0].length) % 100003;
+  }
+  return chk;
+}
+|}
+
+let micl = {|
+// Multi-Inspector-Code-Load analog: parse synthesized JSON-ish records
+// character by character (parsing + string slicing + object churn).
+var doc = "";
+(function() {
+  for (var i = 0; i < 10; i++) {
+    doc = doc + "{id:" + i + ",name:rec" + i + ",val:" + (i * 37 % 100) + "};";
+  }
+})();
+function parse_records(s) {
+  var out = [];
+  var i = 0;
+  var n = s.length;
+  while (i < n) {
+    if (s.charAt(i) == "{") {
+      var rec = {};
+      i++;
+      while (i < n && s.charAt(i) != "}") {
+        var key_start = i;
+        while (s.charAt(i) != ":") i++;
+        var key = s.substring(key_start, i);
+        i++;
+        var val_start = i;
+        while (i < n && s.charAt(i) != "," && s.charAt(i) != "}") i++;
+        var raw = s.substring(val_start, i);
+        var num = parseInt(raw, 10);
+        if (isNaN(num)) rec[key] = raw;
+        else rec[key] = num;
+        if (s.charAt(i) == ",") i++;
+      }
+      out.push(rec);
+    }
+    i++;
+  }
+  return out;
+}
+function bench() {
+  var recs = parse_records(doc);
+  var chk = 0;
+  for (var i = 0; i < recs.length; i++) {
+    chk = (chk + recs[i].id * 3 + recs[i].val + recs[i].name.length) % 1000003;
+  }
+  return chk;
+}
+|}
+
+let lexer = {|
+// Tokenizer + recursive-descent evaluator for arithmetic expressions.
+var exprs = [];
+(function() {
+  for (var i = 1; i < 7; i++) {
+    exprs.push("1+2*" + i + "-(3+" + i + ")*2+10/" + i);
+  }
+})();
+function Lexer(src) { this.src = src; this.pos = 0; }
+Lexer.prototype.peek = function() {
+  if (this.pos >= this.src.length) return -1;
+  return this.src.charCodeAt(this.pos);
+};
+Lexer.prototype.next = function() { var c = this.peek(); this.pos++; return c; };
+function parse_expr(lx) {
+  var v = parse_term(lx);
+  var c = lx.peek();
+  while (c == 43 || c == 45) {
+    lx.next();
+    var r = parse_term(lx);
+    if (c == 43) v = v + r; else v = v - r;
+    c = lx.peek();
+  }
+  return v;
+}
+function parse_term(lx) {
+  var v = parse_atom(lx);
+  var c = lx.peek();
+  while (c == 42 || c == 47) {
+    lx.next();
+    var r = parse_atom(lx);
+    if (c == 42) v = v * r; else v = v / r;
+    c = lx.peek();
+  }
+  return v;
+}
+function parse_atom(lx) {
+  var c = lx.peek();
+  if (c == 40) {
+    lx.next();
+    var v = parse_expr(lx);
+    lx.next();
+    return v;
+  }
+  var num = 0;
+  while (c >= 48 && c <= 57) {
+    num = num * 10 + (c - 48);
+    lx.next();
+    c = lx.peek();
+  }
+  return num;
+}
+function bench() {
+  var chk = 0.0;
+  for (var i = 0; i < exprs.length; i++) {
+    chk = chk + parse_expr(new Lexer(exprs[i]));
+  }
+  return Math.floor(chk * 100);
+}
+|}
+
+let csv = {|
+// CSV splitting and numeric column aggregation.
+var csv_text = "";
+(function() {
+  for (var r = 0; r < 14; r++) {
+    csv_text = csv_text + "row" + r + "," + (r * 13 % 50) + "," + (r * 7 % 31) + "," + (r % 2) + "\n";
+  }
+})();
+function bench() {
+  var rows = csv_text.split("\n");
+  var total = 0;
+  for (var i = 0; i < rows.length; i++) {
+    if (rows[i].length > 0) {
+      var cols = rows[i].split(",");
+      total = (total + parseInt(cols[1], 10) * 2 + parseInt(cols[2], 10)) % 1000003;
+    }
+  }
+  return total;
+}
+|}
+
+let all_regex =
+  [
+    ("REGEX", "pattern tests over log lines", regex_match);
+    ("REGDNA", "DNA motif matching with exec", regex_dna);
+  ]
+
+let all_parse =
+  [
+    ("MICL", "multi-inspector-code-load analog (record parsing)", micl);
+    ("LEX", "expression tokenizer + evaluator", lexer);
+    ("CSV", "CSV split and aggregate", csv);
+  ]

@@ -1,0 +1,240 @@
+(* The paper's six custom sparse linear-algebra kernels (Section II-C):
+   CSR SpMV in three element types (double, large integer, SMI), sparse
+   matrix-matrix product, dense matmul, im2col, dot product.  Matrix
+   generation is deterministic (linear congruential), so results are
+   reproducible checksums. *)
+
+let csr_setup = {|
+var N = 64;
+var NNZ_PER_ROW = 8;
+var row_ptr = [];
+var col_idx = [];
+function lcg_make(seed) {
+  var s = seed;
+  return function() { s = (s * 1103515245 + 12345) & 0x3FFFFFF; return s; };
+}
+function build_structure() {
+  var rnd = lcg_make(7);
+  var k = 0;
+  for (var i = 0; i < N; i++) {
+    row_ptr.push(k);
+    for (var j = 0; j < NNZ_PER_ROW; j++) {
+      col_idx.push(rnd() % N);
+      k++;
+    }
+  }
+  row_ptr.push(k);
+}
+build_structure();
+|}
+
+let spmv_body = {|
+function spmv(rp, ci, vals, x, y, n) {
+  for (var i = 0; i < n; i++) {
+    var sum = 0;
+    var lo = rp[i];
+    var hi = rp[i + 1];
+    for (var k = lo; k < hi; k++) {
+      sum = sum + vals[k] * x[ci[k]];
+    }
+    y[i] = sum;
+  }
+}
+|}
+
+let spmv_csr_smi =
+  csr_setup ^ spmv_body
+  ^ {|
+var vals = [];
+var x = [];
+var y = [];
+(function() {
+  var rnd = lcg_make(13);
+  for (var k = 0; k < col_idx.length; k++) vals.push((rnd() % 1000) - 500);
+  for (var i = 0; i < N; i++) { x.push((i * 7) % 100); y.push(0); }
+})();
+function bench() {
+  spmv(row_ptr, col_idx, vals, x, y, N);
+  var chk = 0;
+  for (var i = 0; i < N; i++) chk = (chk + y[i]) % 1000003;
+  return chk;
+}
+|}
+
+let spmv_csr_int =
+  csr_setup ^ spmv_body
+  ^ {|
+var vals = [];
+var x = [];
+var y = [];
+(function() {
+  var rnd = lcg_make(13);
+  // Values beyond the 31-bit SMI range: stored as heap numbers.
+  for (var k = 0; k < col_idx.length; k++) vals.push((rnd() % 1000) * 4194304 + 1073741824);
+  for (var i = 0; i < N; i++) { x.push((i % 10) + 1); y.push(0); }
+})();
+function bench() {
+  spmv(row_ptr, col_idx, vals, x, y, N);
+  var chk = 0;
+  for (var i = 0; i < N; i++) chk = (chk + y[i] % 97) % 1000003;
+  return chk;
+}
+|}
+
+let spmv_csr_float =
+  csr_setup ^ spmv_body
+  ^ {|
+var vals = [];
+var x = [];
+var y = [];
+(function() {
+  var rnd = lcg_make(13);
+  for (var k = 0; k < col_idx.length; k++) vals.push((rnd() % 1000) * 0.25 - 125.0);
+  for (var i = 0; i < N; i++) { x.push(i * 0.5); y.push(0.0); }
+})();
+function bench() {
+  spmv(row_ptr, col_idx, vals, x, y, N);
+  var chk = 0.0;
+  for (var i = 0; i < N; i++) chk = chk + y[i];
+  return Math.floor(chk);
+}
+|}
+
+let spmm = {|
+// Sparse (CSR) times dense-ish sparse: C = A * B on small SMI matrices.
+var N = 24;
+function lcg_make(seed) {
+  var s = seed;
+  return function() { s = (s * 1103515245 + 12345) & 0x3FFFFFF; return s; };
+}
+var a_rp = []; var a_ci = []; var a_v = [];
+var b_rp = []; var b_ci = []; var b_v = [];
+function build(rp, ci, v, seed, nnz) {
+  var rnd = lcg_make(seed);
+  var k = 0;
+  for (var i = 0; i < N; i++) {
+    rp.push(k);
+    for (var j = 0; j < nnz; j++) {
+      ci.push(rnd() % N);
+      v.push((rnd() % 200) - 100);
+      k++;
+    }
+  }
+  rp.push(k);
+}
+build(a_rp, a_ci, a_v, 3, 5);
+build(b_rp, b_ci, b_v, 11, 5);
+var acc = [];
+for (var i = 0; i < N; i++) acc.push(0);
+function spmm_row(i) {
+  for (var t = 0; t < N; t++) acc[t] = 0;
+  for (var ka = a_rp[i]; ka < a_rp[i + 1]; ka++) {
+    var j = a_ci[ka];
+    var av = a_v[ka];
+    for (var kb = b_rp[j]; kb < b_rp[j + 1]; kb++) {
+      acc[b_ci[kb]] = acc[b_ci[kb]] + av * b_v[kb];
+    }
+  }
+  var s = 0;
+  for (var t2 = 0; t2 < N; t2++) s = (s + acc[t2]) % 1000003;
+  return s;
+}
+function bench() {
+  var chk = 0;
+  for (var i = 0; i < N; i++) chk = (chk + spmm_row(i)) % 1000003;
+  return chk;
+}
+|}
+
+let mmul = {|
+// Dense SMI matrix multiply (paper: mmul).
+var N = 14;
+var A = []; var B = []; var C = [];
+(function() {
+  for (var i = 0; i < N * N; i++) {
+    A.push((i * 7) % 19 - 9);
+    B.push((i * 13) % 23 - 11);
+    C.push(0);
+  }
+})();
+function mmul() {
+  for (var i = 0; i < N; i++) {
+    for (var j = 0; j < N; j++) {
+      var s = 0;
+      for (var k = 0; k < N; k++) {
+        s = s + A[i * N + k] * B[k * N + j];
+      }
+      C[i * N + j] = s;
+    }
+  }
+}
+function bench() {
+  mmul();
+  var chk = 0;
+  for (var i = 0; i < N * N; i++) chk = (chk + C[i]) % 1000003;
+  return chk;
+}
+|}
+
+let im2col = {|
+// im2col transform on an SMI image (paper: IM2COL).
+var H = 16; var W = 16; var K = 3;
+var img = [];
+var cols = [];
+(function() {
+  for (var i = 0; i < H * W; i++) img.push((i * 31) % 256);
+  var out_h = H - K + 1;
+  var out_w = W - K + 1;
+  for (var i2 = 0; i2 < K * K * out_h * out_w; i2++) cols.push(0);
+})();
+function im2col() {
+  var out_h = H - K + 1;
+  var out_w = W - K + 1;
+  var p = 0;
+  for (var ky = 0; ky < K; ky++) {
+    for (var kx = 0; kx < K; kx++) {
+      for (var y = 0; y < out_h; y++) {
+        for (var x = 0; x < out_w; x++) {
+          cols[p] = img[(y + ky) * W + (x + kx)];
+          p = p + 1;
+        }
+      }
+    }
+  }
+}
+function bench() {
+  im2col();
+  var chk = 0;
+  for (var i = 0; i < cols.length; i++) chk = (chk + cols[i] * (i % 7 + 1)) % 1000003;
+  return chk;
+}
+|}
+
+let dp = {|
+// SMI dot product (paper: DP) -- the flagship jsldrsmi workload.
+var N = 1200;
+var xs = []; var ys = [];
+(function() {
+  for (var i = 0; i < N; i++) {
+    xs.push((i * 7) % 100 - 50);
+    ys.push((i * 13) % 100 - 50);
+  }
+})();
+function dot(a, b, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) s = s + a[i] * b[i];
+  return s % 16777213;
+}
+function bench() { return dot(xs, ys, N); }
+|}
+
+let all =
+  [
+    ("SPMV-CSR-SMI", "CSR sparse matrix-vector product on SMI values", spmv_csr_smi);
+    ("SPMV-CSR-INT", "CSR SpMV on large (heap-number) integers", spmv_csr_int);
+    ("SPMV-CSR-FLOAT", "CSR SpMV on doubles", spmv_csr_float);
+    ("SPMM", "sparse matrix-matrix product (SMI)", spmm);
+    ("MMUL", "dense SMI matrix multiply", mmul);
+    ("IM2COL", "image-to-column transform (SMI indexing)", im2col);
+    ("DP", "SMI dot product", dp);
+  ]

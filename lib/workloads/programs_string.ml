@@ -1,0 +1,108 @@
+(* String-manipulation benchmarks.  Most of their time goes into
+   builtins (concatenation, search, case conversion), which is why the
+   paper measures low check overheads for this category. *)
+
+let strcat = {|
+// Repeated concatenation and length checks.
+var pieces = [];
+(function() {
+  for (var i = 0; i < 16; i++) pieces.push("piece" + i + "-");
+})();
+function build() {
+  var out = "";
+  for (var i = 0; i < pieces.length; i++) {
+    out = out + pieces[i];
+    if (out.length > 400) out = out.substring(0, 100);
+  }
+  return out;
+}
+function bench() {
+  var s = "";
+  for (var r = 0; r < 6; r++) s = build() + s.substring(0, 10);
+  return s.length;
+}
+|}
+
+let b64 = {|
+// Base64 encoding via charCodeAt / fromCharCode and bit twiddling.
+var alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+var payload = "";
+(function() {
+  for (var i = 0; i < 8; i++) payload = payload + "The quick brown fox #" + i + ". ";
+})();
+function encode(s) {
+  var out = "";
+  var i = 0;
+  while (i + 2 < s.length) {
+    var x = (s.charCodeAt(i) << 16) | (s.charCodeAt(i + 1) << 8) | s.charCodeAt(i + 2);
+    out = out + alphabet.charAt((x >> 18) & 63) + alphabet.charAt((x >> 12) & 63)
+        + alphabet.charAt((x >> 6) & 63) + alphabet.charAt(x & 63);
+    i = i + 3;
+  }
+  return out;
+}
+function bench() {
+  var e = encode(payload);
+  var chk = 0;
+  for (var i = 0; i < e.length; i++) chk = (chk + e.charCodeAt(i) * (i % 5 + 1)) % 1000003;
+  return chk;
+}
+|}
+
+let tagcloud = {|
+// Split text into words, count frequencies in an object map, join.
+var text = "";
+(function() {
+  var ws = "alpha beta gamma delta alpha beta epsilon zeta alpha eta theta beta";
+  for (var i = 0; i < 4; i++) text = text + ws + " ";
+})();
+function bench() {
+  var words = text.split(" ");
+  var counts = {};
+  var uniq = [];
+  for (var i = 0; i < words.length; i++) {
+    var word = words[i];
+    if (word.length > 0) {
+      var c = counts[word];
+      if (c == undefined) { counts[word] = 1; uniq.push(word); }
+      else counts[word] = c + 1;
+    }
+  }
+  var chk = 0;
+  for (var j = 0; j < uniq.length; j++) {
+    chk = (chk + counts[uniq[j]] * uniq[j].length) % 100003;
+  }
+  return chk + uniq.join(",").length;
+}
+|}
+
+let strsearch = {|
+// Scanning with indexOf and substring extraction.
+var haystack = "";
+(function() {
+  for (var i = 0; i < 12; i++) {
+    haystack = haystack + "lorem ipsum dolor sit amet needle" + (i % 3) + " consectetur ";
+  }
+})();
+function bench() {
+  var chk = 0;
+  var from = 0;
+  var found = haystack.indexOf("needle", from);
+  while (found >= 0) {
+    chk = (chk + found) % 1000003;
+    var tail = haystack.substring(found + 6, found + 7);
+    chk = (chk + tail.charCodeAt(0)) % 1000003;
+    from = found + 1;
+    found = haystack.indexOf("needle", from);
+  }
+  return chk;
+}
+|}
+
+let all =
+  [
+    ("STRCAT", "string building by concatenation", strcat);
+    ("B64", "base64 encoding (charCodeAt + bitops)", b64);
+    ("TAG", "word frequency tag cloud (split + object map)", tagcloud);
+    ("STRSRCH", "substring scanning with indexOf", strsearch);
+  ]

@@ -1,0 +1,40 @@
+type category = Math | Crypto | String_ops | Regex_ops | Parse | Objects | Sparse
+
+type benchmark = {
+  id : string;
+  category : category;
+  description : string;
+  source : string;
+}
+
+let categories = [ Math; Crypto; String_ops; Regex_ops; Parse; Objects; Sparse ]
+
+let category_name = function
+  | Math -> "math"
+  | Crypto -> "crypto"
+  | String_ops -> "string"
+  | Regex_ops -> "regex"
+  | Parse -> "parse"
+  | Objects -> "objects"
+  | Sparse -> "sparse"
+
+let of_list category entries =
+  List.map
+    (fun (id, description, source) -> { id; category; description; source })
+    entries
+
+let all =
+  of_list Math (Programs_math.all @ Programs_extra.all_math)
+  @ of_list Crypto Programs_crypto.all
+  @ of_list String_ops (Programs_string.all @ Programs_extra.all_string)
+  @ of_list Regex_ops Programs_parse.all_regex
+  @ of_list Parse (Programs_parse.all_parse @ Programs_extra.all_parse)
+  @ of_list Objects (Programs_objects.all @ Programs_extra.all_objects)
+  @ of_list Sparse Programs_sparse.all
+
+let by_id id = List.find_opt (fun b -> b.id = id) all
+
+let by_category c = List.filter (fun b -> b.category = c) all
+
+let smi_kernels =
+  [ "SPMV-CSR-SMI"; "MMUL"; "IM2COL"; "SPMM"; "BLUR"; "AES2"; "HASH"; "DP" ]

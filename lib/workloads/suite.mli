@@ -1,0 +1,33 @@
+(** The benchmark suite: a JetStream2-inspired collection grouped by
+    the paper's categories (Section II-C), plus the six custom sparse
+    linear-algebra kernels.
+
+    Every benchmark is a self-contained program in the engine's JS
+    subset: top-level setup code plus a [bench()] function that performs
+    one iteration and returns a deterministic checksum. *)
+
+type category =
+  | Math
+  | Crypto
+  | String_ops
+  | Regex_ops
+  | Parse
+  | Objects
+  | Sparse
+
+type benchmark = {
+  id : string;
+  category : category;
+  description : string;
+  source : string;
+}
+
+val all : benchmark list
+val by_id : string -> benchmark option
+val by_category : category -> benchmark list
+val categories : category list
+val category_name : category -> string
+
+val smi_kernels : string list
+(** The SMI-heavy subset used for the ISA-extension experiments
+    (paper Fig 13/14): SPMV, MMUL, IM2COL, SPMM, BLUR, AES2, HASH, DP. *)

@@ -1,0 +1,263 @@
+(* Lexer, parser, bytecode compiler and regex engine tests. *)
+
+(* ---------------- Lexer ---------------- *)
+
+let toks src =
+  Array.to_list (Array.map (fun t -> t.Lexer.tok) (Lexer.tokenize src))
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count" 6 (List.length (toks "var x = 1 ;"));
+  (match toks "1.5e3" with
+  | [ Lexer.Tnum f; Lexer.Teof ] ->
+    Alcotest.(check bool) "float" true (f = 1500.0)
+  | _ -> Alcotest.fail "expected one number");
+  (match toks "0xFF" with
+  | [ Lexer.Tnum f; Lexer.Teof ] -> Alcotest.(check bool) "hex" true (f = 255.0)
+  | _ -> Alcotest.fail "expected hex number")
+
+let test_lexer_strings () =
+  match toks {|"a\nb" 'c\'d'|} with
+  | [ Lexer.Tstr a; Lexer.Tstr b; Lexer.Teof ] ->
+    Alcotest.(check string) "escapes" "a\nb" a;
+    Alcotest.(check string) "single quotes" "c'd" b
+  | _ -> Alcotest.fail "expected two strings"
+
+let test_lexer_comments () =
+  Alcotest.(check int) "comments skipped" 2
+    (List.length (toks "// line\n/* block\nmore */ x"))
+
+let test_lexer_multichar_ops () =
+  match toks ">>> === >>>= <=" with
+  | [ Lexer.Tpunct a; Lexer.Tpunct b; Lexer.Tpunct c; Lexer.Tpunct d; Lexer.Teof ] ->
+    Alcotest.(check (list string)) "ops" [ ">>>"; "==="; ">>>="; "<=" ] [ a; b; c; d ]
+  | _ -> Alcotest.fail "expected four punctuators"
+
+let test_lexer_error () =
+  Alcotest.(check bool) "bad char raises" true
+    (try
+       ignore (Lexer.tokenize "var # = 1");
+       false
+     with Lexer.Lex_error _ -> true)
+
+(* ---------------- Parser ---------------- *)
+
+let expr s = Ast.expr_to_string (Parser.parse_expression s)
+
+let test_parser_precedence () =
+  Alcotest.(check string) "mul binds tighter" "(1 + (2 * 3))" (expr "1 + 2 * 3");
+  Alcotest.(check string) "parens" "((1 + 2) * 3)" (expr "(1 + 2) * 3");
+  Alcotest.(check string) "compare vs arith" "((1 + 2) < (3 * 4))"
+    (expr "1 + 2 < 3 * 4");
+  Alcotest.(check string) "logical" "((a && b) || c)" (expr "a && b || c");
+  Alcotest.(check string) "shift" "((1 << 2) + 3)" (expr "(1 << 2) + 3")
+
+let test_parser_unary_postfix () =
+  Alcotest.(check string) "unary minus" "(1 - -2)" (expr "1 - -2");
+  Alcotest.(check string) "typeof" "(typeof x == \"number\")"
+    (expr {|typeof x == "number"|});
+  Alcotest.(check string) "postfix" "x++" (expr "x++");
+  Alcotest.(check string) "prefix" "++x" (expr "++x")
+
+let test_parser_calls_members () =
+  Alcotest.(check string) "chain" "a.b.c" (expr "a.b.c");
+  Alcotest.(check string) "index" "a[(i + 1)]" (expr "a[i+1]");
+  Alcotest.(check string) "method" "a.f(1, 2)" (expr "a.f(1,2)");
+  Alcotest.(check string) "new" "new F(1)" (expr "new F(1)");
+  Alcotest.(check string) "ternary" "(c ? 1 : 2)" (expr "c ? 1 : 2")
+
+let test_parser_statements () =
+  let p = Parser.parse "function f(a) { if (a) return 1; else return 2; } var x = f(0);" in
+  Alcotest.(check int) "two statements" 2 (List.length p);
+  (match p with
+  | [ Ast.Func_decl f; Ast.Var_decl [ ("x", Some _) ] ] ->
+    Alcotest.(check (option string)) "name" (Some "f") f.Ast.fname;
+    Alcotest.(check (list string)) "params" [ "a" ] f.Ast.params
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_parser_loops () =
+  match Parser.parse "for (var i = 0; i < 3; i++) { s += i; } while (x) x--; do y++; while (y < 5)" with
+  | [ Ast.For (Some _, Some _, Some _, _); Ast.While (_, _); Ast.Do_while (_, _) ] ->
+    ()
+  | _ -> Alcotest.fail "loop shapes"
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects: " ^ src) true
+        (try
+           ignore (Parser.parse src);
+           false
+         with Parser.Parse_error _ | Lexer.Lex_error _ -> true))
+    [ "var"; "if (x"; "function () {}"; "1 +"; "a["; "return}}" ]
+
+(* ---------------- Bytecode compiler ---------------- *)
+
+let compile src = Bcompiler.compile src
+
+let test_compile_jump_targets_valid () =
+  (* All workload programs: every jump target lands inside the code and
+     every feedback slot is within the vector. *)
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      let u = compile b.Workloads.Suite.source in
+      Array.iter
+        (fun (f : Bytecode.func_info) ->
+          let n = Array.length f.Bytecode.code in
+          Array.iter
+            (fun op ->
+              (match op with
+              | Bytecode.Jump t | Bytecode.Jump_if_false t | Bytecode.Jump_if_true t ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s: jump in range" b.Workloads.Suite.id
+                     f.Bytecode.name)
+                  true (t >= 0 && t <= n)
+              | _ -> ());
+              match Bytecode.is_feedback_site op with
+              | Some fb ->
+                Alcotest.(check bool) "feedback slot in range" true
+                  (fb >= 0 && fb < f.Bytecode.n_feedback)
+              | None -> ())
+            f.Bytecode.code)
+        u.Bcompiler.functions)
+    Workloads.Suite.all
+
+let test_compile_closure_capture () =
+  let u = compile "function outer() { var c = 0; return function() { c = c + 1; return c; }; }" in
+  let outer =
+    Array.to_list u.Bcompiler.functions
+    |> List.find (fun (f : Bytecode.func_info) -> f.Bytecode.name = "outer")
+  in
+  Alcotest.(check bool) "captured var -> context slot" true
+    (outer.Bytecode.context_slots > 0)
+
+let test_compile_no_capture_no_context () =
+  let u = compile "function f(x) { return x + 1; }" in
+  let f =
+    Array.to_list u.Bcompiler.functions
+    |> List.find (fun (f : Bytecode.func_info) -> f.Bytecode.name = "f")
+  in
+  Alcotest.(check int) "no context" 0 f.Bytecode.context_slots
+
+let test_disassemble_runs () =
+  let u = compile "function f(a, b) { return a * b + 1; }" in
+  Array.iter
+    (fun f ->
+      let d = Bytecode.disassemble f in
+      Alcotest.(check bool) "non-empty" true (String.length d > 0))
+    u.Bcompiler.functions
+
+(* ---------------- Regex ---------------- *)
+
+let test_regex_literal () =
+  let re = Regex.compile "abc" in
+  Alcotest.(check bool) "match" true (Regex.test re "xxabcxx");
+  Alcotest.(check bool) "no match" false (Regex.test re "abd")
+
+let test_regex_classes () =
+  let re = Regex.compile "[a-c]+[0-9]" in
+  Alcotest.(check bool) "match" true (Regex.test re "zzabc7");
+  Alcotest.(check bool) "no match" false (Regex.test re "abcx");
+  let neg = Regex.compile "[^0-9]+" in
+  Alcotest.(check bool) "negated" true (Regex.test neg "abc");
+  Alcotest.(check bool) "negated no match" false (Regex.test neg "123")
+
+let test_regex_escapes () =
+  Alcotest.(check bool) "\\d" true (Regex.test (Regex.compile "\\d\\d") "a42");
+  Alcotest.(check bool) "\\w" true (Regex.test (Regex.compile "\\w+") "x_1");
+  Alcotest.(check bool) "\\s" true (Regex.test (Regex.compile "a\\sb") "a b")
+
+let test_regex_anchors () =
+  Alcotest.(check bool) "^ match" true (Regex.test (Regex.compile "^ab") "abc");
+  Alcotest.(check bool) "^ no match" false (Regex.test (Regex.compile "^bc") "abc");
+  Alcotest.(check bool) "$ match" true (Regex.test (Regex.compile "bc$") "abc")
+
+let test_regex_quantifiers () =
+  Alcotest.(check bool) "star" true (Regex.test (Regex.compile "ab*c") "ac");
+  Alcotest.(check bool) "plus" false (Regex.test (Regex.compile "ab+c") "ac");
+  Alcotest.(check bool) "opt" true (Regex.test (Regex.compile "ab?c") "abc");
+  Alcotest.(check bool) "{2,3}" true (Regex.test (Regex.compile "a{2,3}") "baaa");
+  Alcotest.(check bool) "{4}" false (Regex.test (Regex.compile "^a{4}$") "aaa")
+
+let test_regex_alternation_groups () =
+  let re = Regex.compile "(foo|ba(r|z))+" in
+  (match Regex.exec re "xxfoobazyy" 0 with
+  | Some m ->
+    Alcotest.(check int) "start" 2 m.Regex.m_start;
+    Alcotest.(check int) "end" 8 m.Regex.m_end
+  | None -> Alcotest.fail "should match");
+  let d = Regex.compile "(\\d+)-(\\d+)" in
+  match Regex.exec d "on 2021-06 ok" 0 with
+  | Some m ->
+    Alcotest.(check (option (pair int int))) "group 1" (Some (3, 7)) m.Regex.captures.(1);
+    Alcotest.(check (option (pair int int))) "group 2" (Some (8, 10)) m.Regex.captures.(2)
+  | None -> Alcotest.fail "should match"
+
+let test_regex_lazy () =
+  let greedy = Regex.compile "<.+>" in
+  let lazy_ = Regex.compile "<.+?>" in
+  (match Regex.exec greedy "<a><b>" 0 with
+  | Some m -> Alcotest.(check int) "greedy spans" 6 m.Regex.m_end
+  | None -> Alcotest.fail "greedy");
+  match Regex.exec lazy_ "<a><b>" 0 with
+  | Some m -> Alcotest.(check int) "lazy stops" 3 m.Regex.m_end
+  | None -> Alcotest.fail "lazy"
+
+let test_regex_errors () =
+  List.iter
+    (fun pat ->
+      Alcotest.(check bool) ("rejects " ^ pat) true
+        (try
+           ignore (Regex.compile pat);
+           false
+         with Regex.Regex_error _ -> true))
+    [ "("; "[a"; "*x"; "a{2"; "a\\" ]
+
+let prop_regex_self_match =
+  (* A literal pattern always matches itself (alphanumeric only, to
+     avoid metacharacters). *)
+  let alnum =
+    QCheck.Gen.(string_size ~gen:(oneof [ char_range 'a' 'z'; char_range '0' '9' ]) (int_range 1 12))
+  in
+  QCheck.Test.make ~name:"regex: literal self-match" ~count:300
+    (QCheck.make alnum) (fun s -> Regex.test (Regex.compile s) s)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "lexer",
+      [
+        Alcotest.test_case "basics" `Quick test_lexer_basics;
+        Alcotest.test_case "strings" `Quick test_lexer_strings;
+        Alcotest.test_case "comments" `Quick test_lexer_comments;
+        Alcotest.test_case "multichar ops" `Quick test_lexer_multichar_ops;
+        Alcotest.test_case "errors" `Quick test_lexer_error;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parser_precedence;
+        Alcotest.test_case "unary/postfix" `Quick test_parser_unary_postfix;
+        Alcotest.test_case "calls/members" `Quick test_parser_calls_members;
+        Alcotest.test_case "statements" `Quick test_parser_statements;
+        Alcotest.test_case "loops" `Quick test_parser_loops;
+        Alcotest.test_case "errors" `Quick test_parser_errors;
+      ] );
+    ( "bcompiler",
+      [
+        Alcotest.test_case "suite jump targets valid" `Quick test_compile_jump_targets_valid;
+        Alcotest.test_case "closure capture" `Quick test_compile_closure_capture;
+        Alcotest.test_case "no capture no context" `Quick test_compile_no_capture_no_context;
+        Alcotest.test_case "disassemble" `Quick test_disassemble_runs;
+      ] );
+    ( "regex",
+      [
+        Alcotest.test_case "literal" `Quick test_regex_literal;
+        Alcotest.test_case "classes" `Quick test_regex_classes;
+        Alcotest.test_case "escapes" `Quick test_regex_escapes;
+        Alcotest.test_case "anchors" `Quick test_regex_anchors;
+        Alcotest.test_case "quantifiers" `Quick test_regex_quantifiers;
+        Alcotest.test_case "alternation/groups" `Quick test_regex_alternation_groups;
+        Alcotest.test_case "lazy" `Quick test_regex_lazy;
+        Alcotest.test_case "errors" `Quick test_regex_errors;
+        q prop_regex_self_match;
+      ] );
+  ]

@@ -1,0 +1,462 @@
+(* JIT integration tests: differential correctness against the
+   interpreter, deoptimization round trips, check-removal soundness, the
+   ISA extension, and structural invariants of graphs and generated
+   code. *)
+
+let engine_config ?(arch = Arch.Arm64) ?(opt = true)
+    ?(checks = Engine.checks_on) ?(trust = false) ?(turboprop = false) () =
+  let cfg = Engine.default_config ~arch () in
+  { cfg with
+    Engine.enable_optimizer = opt;
+    checks;
+    trust_elements_kind = trust;
+    turboprop }
+
+let run_n cfg src n =
+  let eng = Engine.create cfg src in
+  let _ = Engine.run_main eng in
+  let h = (Engine.runtime eng).Runtime.heap in
+  let last = ref Float.nan in
+  for _ = 1 to n do
+    let v = Engine.call_global eng "bench" [||] in
+    last := Heap.number_value h v
+  done;
+  (!last, eng)
+
+let differential ?(n = 10) name src =
+  let jit, _ = run_n (engine_config ()) src n in
+  let interp, _ = run_n (engine_config ~opt:false ()) src n in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: jit=%f interp=%f" name jit interp)
+    true
+    (jit = interp || Float.abs (jit -. interp) < 1e-9)
+
+let test_diff_smi_arith () =
+  differential "smi arithmetic"
+    {|
+function f(a, b) { return (a * b + a - b) % 9973; }
+function bench() {
+  var s = 0;
+  for (var i = 1; i < 200; i++) s = (s + f(i, i + 3)) % 999983;
+  return s;
+}
+|}
+
+let test_diff_overflow_deopt () =
+  (* Speculation trained on small values, then an overflowing input:
+     the add must deopt and still produce the correct boxed result. *)
+  differential "overflow deopt"
+    {|
+var limit = 10;
+function grow(x) { return x + x; }
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 30; i++) s = s + grow(i);
+  if (limit < 100) { limit = 1000; s = s + grow(900000000); }
+  return s % 100000007;
+}
+|}
+
+let test_diff_map_change_deopt () =
+  differential "map-change deopt"
+    {|
+function get_x(o) { return o.x; }
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 40; i++) s = s + get_x({ x: i });
+  // Different shape at the same site: wrong-map deopt, then generic.
+  s = s + get_x({ y: 1, x: 100 });
+  return s;
+}
+|}
+
+let test_diff_elements_transition () =
+  differential "elements-kind transition deopt"
+    {|
+var arr = [1, 2, 3, 4];
+function sum() {
+  var s = 0;
+  for (var i = 0; i < arr.length; i++) s = s + arr[i];
+  return s;
+}
+var phase = 0;
+function bench() {
+  var r = sum();
+  phase = phase + 1;
+  if (phase == 25) arr[1] = 2.5;  // SMI array becomes DOUBLE
+  return Math.floor(r * 4);
+}
+|}
+
+let test_diff_polymorphic_call () =
+  differential "polymorphic then megamorphic calls"
+    {|
+function a(x) { return x + 1; }
+function b(x) { return x + 2; }
+function c(x) { return x + 3; }
+var fs = [a, b, c];
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 60; i++) s = s + fs[i % 3](i);
+  return s;
+}
+|}
+
+let test_diff_float_kernel () =
+  differential "float kernel"
+    {|
+var a = [0.5, 1.5, 2.5, 3.5, 4.5];
+function bench() {
+  var s = 0.0;
+  for (var r = 0; r < 20; r++) {
+    for (var i = 0; i < a.length; i++) s = s + a[i] * 1.25 - 0.125;
+  }
+  return Math.floor(s * 1000);
+}
+|}
+
+let test_diff_string_builtins () =
+  differential "string builtins from jit code"
+    {|
+var words = ["alpha", "beta", "gamma", "delta"];
+function bench() {
+  var h = 0;
+  for (var i = 0; i < words.length; i++) {
+    var w = words[i];
+    for (var j = 0; j < w.length; j++) h = ((h * 31) + w.charCodeAt(j)) & 0xFFFFFF;
+  }
+  return h;
+}
+|}
+
+let test_diff_constructors () =
+  differential "constructors + methods"
+    {|
+function Pt(x, y) { this.x = x; this.y = y; }
+Pt.prototype.m = function() { return this.x * 3 + this.y; };
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 50; i++) s = (s + new Pt(i, i + 1).m()) % 100003;
+  return s;
+}
+|}
+
+let test_whole_suite_differential () =
+  (* Every workload: 6 iterations JIT vs interpreter. *)
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      let src = b.Workloads.Suite.source in
+      let jit, _ = run_n (engine_config ()) src 6 in
+      let interp, _ = run_n (engine_config ~opt:false ()) src 6 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: jit=%f interp=%f" b.Workloads.Suite.id jit interp)
+        true
+        (Float.abs (jit -. interp) < 1e-9))
+    Workloads.Suite.all
+
+let test_deopt_resume_mid_loop () =
+  (* Poison a value the compiled loop speculates on and verify the
+     bailout resumes with exact interpreter semantics. *)
+  let src =
+    {|
+var xs = [1, 2, 3, 4, 5, 6, 7, 8];
+function total() {
+  var s = 0;
+  for (var i = 0; i < xs.length; i++) s = s + xs[i];
+  return s;
+}
+function bench() { return total(); }
+|}
+  in
+  let cfg = engine_config () in
+  let eng = Engine.create cfg src in
+  let _ = Engine.run_main eng in
+  let h = (Engine.runtime eng).Runtime.heap in
+  for _ = 1 to 10 do
+    ignore (Engine.call_global eng "bench" [||])
+  done;
+  (* Mid-steady-state type change. *)
+  let xs = Heap.cell_value h (Heap.global_cell h "xs") in
+  Heap.array_set h xs 3 (Heap.alloc_heap_number h 4.5);
+  let v = Engine.call_global eng "bench" [||] in
+  Alcotest.(check bool) "sum after poisoning" true
+    (Heap.number_value h v = 36.5);
+  Alcotest.(check bool) "a deopt fired" true
+    (List.exists (fun (_, n) -> n > 0) (Engine.deopt_counts eng))
+
+let variant_preserves name mk_cfg =
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      let src = b.Workloads.Suite.source in
+      let reference, _ = run_n (engine_config ~opt:false ()) src 5 in
+      let got, _ = run_n (mk_cfg b) src 5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: got=%f want=%f" name b.Workloads.Suite.id got reference)
+        true
+        (Float.abs (got -. reference) < 1e-9))
+    [ Option.get (Workloads.Suite.by_id "DP");
+      Option.get (Workloads.Suite.by_id "HASH");
+      Option.get (Workloads.Suite.by_id "RICH");
+      Option.get (Workloads.Suite.by_id "NS");
+      Option.get (Workloads.Suite.by_id "SPMV-CSR-SMI") ]
+
+let test_calibrated_removal_sound () =
+  variant_preserves "check removal" (fun b ->
+      let config = engine_config () in
+      let removable, _ =
+        Experiments.Harness.calibrate_removable ~iterations:30 ~config b
+      in
+      engine_config
+        ~checks:{ Engine.disabled_groups = removable; remove_branches = false }
+        ())
+
+let test_branch_removal_sound () =
+  (* Removing deopt branches is only behavior-preserving when no check
+     would have fired (the paper's Fig 10 shares this caveat): restrict
+     to benchmarks whose calibration shows no firing deopts. *)
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      let config = engine_config () in
+      let _, fired =
+        Experiments.Harness.calibrate_removable ~iterations:30 ~config b
+      in
+      if fired = [] then begin
+        let src = b.Workloads.Suite.source in
+        let reference, _ = run_n (engine_config ~opt:false ()) src 5 in
+        let got, _ =
+          run_n
+            (engine_config
+               ~checks:{ Engine.disabled_groups = []; remove_branches = true }
+               ())
+            src 5
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "branch removal/%s" b.Workloads.Suite.id)
+          true
+          (Float.abs (got -. reference) < 1e-9)
+      end)
+    [ Option.get (Workloads.Suite.by_id "DP");
+      Option.get (Workloads.Suite.by_id "HASH");
+      Option.get (Workloads.Suite.by_id "NS");
+      Option.get (Workloads.Suite.by_id "RICH");
+      Option.get (Workloads.Suite.by_id "SPMV-CSR-SMI") ]
+
+let test_smi_ext_sound () =
+  variant_preserves "smi extension" (fun _ ->
+      engine_config ~arch:Arch.Arm64_smi_ext ())
+
+let test_x64_sound () =
+  variant_preserves "x64 backend" (fun _ -> engine_config ~arch:Arch.X64 ())
+
+let test_turboprop_sound () =
+  variant_preserves "turboprop" (fun _ -> engine_config ~turboprop:true ())
+
+let test_trust_elements_sound () =
+  variant_preserves "trust-elements ablation" (fun _ ->
+      engine_config ~trust:true ())
+
+(* ---------------- Structural invariants ---------------- *)
+
+let hot_graph_and_code arch src entry =
+  let cfg = engine_config ~arch () in
+  let eng = Engine.create cfg src in
+  let _ = Engine.run_main eng in
+  for _ = 1 to 20 do
+    ignore (Engine.call_global eng "bench" [||])
+  done;
+  match Engine.compile_now eng entry with
+  | Ok code ->
+    let h = (Engine.runtime eng).Runtime.heap in
+    let f = Heap.cell_value h (Heap.global_cell h entry) in
+    let fid = Heap.function_id_of h f in
+    (Option.get (Engine.graph_of_fid eng fid), code)
+  | Error m -> Alcotest.fail ("compile failed: " ^ m)
+
+let dp_src = (Option.get (Workloads.Suite.by_id "DP")).Workloads.Suite.source
+
+let test_graph_invariants () =
+  let g, _ = hot_graph_and_code Arch.Arm64 dp_src "dot" in
+  for b = 0 to g.Turbofan.Son.n_blocks - 1 do
+    let blk = Turbofan.Son.block g b in
+    List.iter
+      (fun i ->
+        let n = Turbofan.Son.node g i in
+        (match n.Turbofan.Son.op with
+        | Turbofan.Son.N_phi ->
+          Alcotest.(check int)
+            (Printf.sprintf "phi %d inputs = preds" i)
+            (List.length blk.Turbofan.Son.preds)
+            (Array.length n.Turbofan.Son.inputs)
+        | Turbofan.Son.N_check _ | Turbofan.Son.N_soft_deopt _
+        | Turbofan.Son.N_js_ldr_smi _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "check %d has frame state" i)
+            true
+            (n.Turbofan.Son.fs <> None)
+        | _ -> ());
+        Array.iter
+          (fun v ->
+            Alcotest.(check bool) "input ids valid" true
+              (v >= 0 && v < g.Turbofan.Son.n_nodes))
+          n.Turbofan.Son.inputs)
+      blk.Turbofan.Son.body
+  done
+
+let check_code_invariants (code : Code.t) =
+  let n_deopts = Array.length code.Code.deopts in
+  Array.iter
+    (fun insn ->
+      (match insn.Insn.kind with
+      | Insn.Deopt_if (_, dp) ->
+        Alcotest.(check bool) "deopt id in table" true (dp >= 0 && dp < n_deopts)
+      | Insn.Js_ldr_smi { deopt; _ } ->
+        Alcotest.(check bool) "fused deopt id in table" true
+          (deopt >= 0 && deopt < n_deopts);
+        Alcotest.(check bool) "jsldrsmi only on ext arch" true
+          (Arch.has_smi_load code.Code.arch)
+      | Insn.Alu_mem _ | Insn.Cmp_mem _ ->
+        Alcotest.(check bool) "memory operands only on x64" true
+          (Arch.can_fold_memory_operand code.Code.arch)
+      | _ -> ());
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "register index valid" true
+            (r >= 0 && r < Insn.num_gp_regs))
+        (Insn.reads insn.Insn.kind @ Insn.writes insn.Insn.kind))
+    code.Code.insns
+
+let test_code_invariants_all_arches () =
+  List.iter
+    (fun arch ->
+      let _, code = hot_graph_and_code arch dp_src "dot" in
+      check_code_invariants code)
+    [ Arch.X64; Arch.Arm64; Arch.Arm64_smi_ext ]
+
+let test_short_circuit_removes_ancestors () =
+  let cfg = engine_config () in
+  let eng = Engine.create cfg dp_src in
+  let _ = Engine.run_main eng in
+  for _ = 1 to 20 do
+    ignore (Engine.call_global eng "bench" [||])
+  done;
+  let rt = Engine.runtime eng in
+  let h = rt.Runtime.heap in
+  let f = Heap.cell_value h (Heap.global_cell h "dot") in
+  let fr = Runtime.func rt (Heap.function_id_of h f) in
+  let build () =
+    Turbofan.Graph_builder.build
+      (Turbofan.Graph_builder.default_config Arch.Arm64)
+      rt fr
+  in
+  let g = build () in
+  ignore (Turbofan.Reducer.run_dce g);
+  let before = Turbofan.Son.node_count g in
+  let stats =
+    Turbofan.Reducer.short_circuit_checks g ~groups:[ Insn.G_boundary ]
+  in
+  Alcotest.(check bool) "bounds checks removed" true
+    (stats.Turbofan.Reducer.checks_removed > 0);
+  (* The array-length loads that fed the checks die too (paper Fig 5). *)
+  Alcotest.(check bool) "dead ancestors removed" true
+    (stats.Turbofan.Reducer.nodes_dce_removed > 0);
+  Alcotest.(check bool) "node count shrank" true
+    (Turbofan.Son.node_count g
+     < before - stats.Turbofan.Reducer.checks_removed)
+
+let test_fusion_reduces_checks () =
+  let _, plain = hot_graph_and_code Arch.Arm64 dp_src "dot" in
+  let _, fused = hot_graph_and_code Arch.Arm64_smi_ext dp_src "dot" in
+  let has_fused = ref false in
+  Array.iter
+    (fun i ->
+      match i.Insn.kind with Insn.Js_ldr_smi _ -> has_fused := true | _ -> ())
+    fused.Code.insns;
+  Alcotest.(check bool) "jsldrsmi emitted" true !has_fused;
+  Alcotest.(check bool) "fewer instructions with the extension" true
+    (Code.real_instructions fused < Code.real_instructions plain)
+
+let test_remove_branches_removes_deopt_if () =
+  let cfg =
+    engine_config
+      ~checks:{ Engine.disabled_groups = []; remove_branches = true }
+      ()
+  in
+  let eng = Engine.create cfg dp_src in
+  let _ = Engine.run_main eng in
+  for _ = 1 to 20 do
+    ignore (Engine.call_global eng "bench" [||])
+  done;
+  List.iter
+    (fun (code : Code.t) ->
+      Array.iter
+        (fun i ->
+          match i.Insn.kind with
+          | Insn.Deopt_if _ -> Alcotest.fail "deopt branch survived removal"
+          | _ -> ())
+        code.Code.insns)
+    (Engine.all_codes eng)
+
+let test_deopt_counters_move () =
+  let cfg = engine_config () in
+  let eng = Engine.create cfg
+      {|
+function f(x) { return x + 1; }
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 30; i++) s = s + f(i);
+  return s;
+}
+|}
+  in
+  let _ = Engine.run_main eng in
+  for _ = 1 to 10 do
+    ignore (Engine.call_global eng "bench" [||])
+  done;
+  let c = (Engine.cpu eng).Cpu.counters in
+  Alcotest.(check bool) "jit instructions retired" true
+    (c.Perf.jit_instructions > 0);
+  Alcotest.(check bool) "checks committed" true (c.Perf.check_instructions > 0);
+  Alcotest.(check bool) "check branches <= checks" true
+    (c.Perf.check_branches <= c.Perf.check_instructions);
+  Alcotest.(check int) "per-group sums to total" c.Perf.check_instructions
+    (Array.fold_left ( + ) 0 c.Perf.check_per_group)
+
+let suite =
+  [
+    ( "jit-differential",
+      [
+        Alcotest.test_case "smi arithmetic" `Quick test_diff_smi_arith;
+        Alcotest.test_case "overflow deopt" `Quick test_diff_overflow_deopt;
+        Alcotest.test_case "map-change deopt" `Quick test_diff_map_change_deopt;
+        Alcotest.test_case "elements transition" `Quick test_diff_elements_transition;
+        Alcotest.test_case "polymorphic calls" `Quick test_diff_polymorphic_call;
+        Alcotest.test_case "float kernel" `Quick test_diff_float_kernel;
+        Alcotest.test_case "string builtins" `Quick test_diff_string_builtins;
+        Alcotest.test_case "constructors" `Quick test_diff_constructors;
+        Alcotest.test_case "whole suite" `Slow test_whole_suite_differential;
+      ] );
+    ( "jit-deopt",
+      [
+        Alcotest.test_case "resume mid-loop" `Quick test_deopt_resume_mid_loop;
+        Alcotest.test_case "counters" `Quick test_deopt_counters_move;
+      ] );
+    ( "jit-variants",
+      [
+        Alcotest.test_case "calibrated removal sound" `Slow test_calibrated_removal_sound;
+        Alcotest.test_case "branch removal sound" `Slow test_branch_removal_sound;
+        Alcotest.test_case "smi ext sound" `Slow test_smi_ext_sound;
+        Alcotest.test_case "x64 sound" `Slow test_x64_sound;
+        Alcotest.test_case "turboprop sound" `Slow test_turboprop_sound;
+        Alcotest.test_case "trust-elements sound" `Slow test_trust_elements_sound;
+      ] );
+    ( "jit-structure",
+      [
+        Alcotest.test_case "graph invariants" `Quick test_graph_invariants;
+        Alcotest.test_case "code invariants (3 arches)" `Quick test_code_invariants_all_arches;
+        Alcotest.test_case "short-circuit kills ancestors" `Quick
+          test_short_circuit_removes_ancestors;
+        Alcotest.test_case "fusion reduces instructions" `Quick test_fusion_reduces_checks;
+        Alcotest.test_case "branch removal removes Deopt_if" `Quick
+          test_remove_branches_removes_deopt_if;
+      ] );
+  ]

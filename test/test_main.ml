@@ -1,0 +1,5 @@
+let () =
+  Alcotest.run "vspec"
+    (Test_support.suite @ Test_heap.suite @ Test_frontend.suite
+   @ Test_interp.suite @ Test_machine.suite @ Test_jit.suite
+   @ Test_turbofan.suite @ Test_experiments.suite @ Test_engine.suite @ Test_misc.suite)

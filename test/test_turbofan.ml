@@ -1,0 +1,308 @@
+(* Unit tests for the optimizing compiler's pieces: speculative
+   lowering shapes, check hoisting, the reducer passes, register
+   allocation well-formedness, and the baseline compiler's structure. *)
+
+(* Run a source under the interpreter only, so feedback exists but we
+   control graph building ourselves. *)
+let warm_rt ?(calls = 8) src entry =
+  let cfg =
+    { (Engine.default_config ~arch:Arch.Arm64 ()) with
+      Engine.enable_optimizer = false }
+  in
+  let eng = Engine.create cfg src in
+  let _ = Engine.run_main eng in
+  (* Warm through bench() so [entry]'s feedback reflects real inputs. *)
+  for _ = 1 to calls do
+    ignore (Engine.call_global eng "bench" [||])
+  done;
+  let rt = Engine.runtime eng in
+  let h = rt.Runtime.heap in
+  let fobj = Heap.cell_value h (Heap.global_cell h entry) in
+  (rt, Runtime.func rt (Heap.function_id_of h fobj))
+
+let build ?(arch = Arch.Arm64) ?(trust = false) ?(turboprop = false) rt f =
+  let g =
+    Turbofan.Graph_builder.build
+      { Turbofan.Graph_builder.arch; trust_elements_kind = trust; turboprop }
+      rt f
+  in
+  ignore (Turbofan.Reducer.run_dce g);
+  g
+
+let count_ops g pred =
+  let n = ref 0 in
+  for b = 0 to g.Turbofan.Son.n_blocks - 1 do
+    List.iter
+      (fun i -> if pred (Turbofan.Son.node g i).Turbofan.Son.op then incr n)
+      (Turbofan.Son.block g b).Turbofan.Son.body
+  done;
+  !n
+
+let count_checks g reason =
+  count_ops g (function
+    | Turbofan.Son.N_check { reason = r; _ } -> r = reason
+    | _ -> false)
+
+(* ---------------- Lowering shapes ---------------- *)
+
+let smi_add_src =
+  {|
+function add(a, b) { return a + b; }
+function bench() { return add(2, 3); }
+|}
+
+let test_smi_feedback_lowers_checked_add () =
+  let rt, f = warm_rt smi_add_src "add" in
+  (* Call add directly a few times with SMIs via bench. *)
+  let g = build rt f in
+  Alcotest.(check int) "one checked smi add" 1
+    (count_ops g (fun o -> o = Turbofan.Son.N_smi_add_checked));
+  Alcotest.(check bool) "params get Not-a-SMI checks" true
+    (count_checks g Insn.Not_a_smi >= 2);
+  Alcotest.(check int) "no float ops" 0
+    (count_ops g (function Turbofan.Son.N_float_binop _ -> true | _ -> false))
+
+let float_add_src =
+  {|
+function fadd(a, b) { return a + b; }
+function bench() { return fadd(2.5, 3.25); }
+|}
+
+let test_number_feedback_lowers_float () =
+  let rt, f = warm_rt float_add_src "fadd" in
+  let g = build rt f in
+  Alcotest.(check int) "float add present" 1
+    (count_ops g (function
+      | Turbofan.Son.N_float_binop Insn.Fadd -> true
+      | _ -> false));
+  Alcotest.(check bool) "checked conversions present" true
+    (count_ops g (fun o -> o = Turbofan.Son.N_to_float) >= 2);
+  Alcotest.(check int) "no checked smi add" 0
+    (count_ops g (fun o -> o = Turbofan.Son.N_smi_add_checked))
+
+let prop_load_src =
+  {|
+function getx(o) { return o.x; }
+var obj = { x: 7, y: 8 };
+function bench() { return getx(obj); }
+|}
+
+let test_mono_property_load_has_map_check () =
+  let rt, f = warm_rt prop_load_src "getx" in
+  let g = build rt f in
+  Alcotest.(check int) "one map check" 1 (count_checks g Insn.Wrong_map);
+  Alcotest.(check bool) "receiver smi check" true
+    (count_checks g Insn.Smi >= 1);
+  Alcotest.(check bool) "a field load" true
+    (count_ops g (function Turbofan.Son.N_load _ -> true | _ -> false) >= 1)
+
+let keyed_src =
+  {|
+var xs = [10, 20, 30, 40];
+function get(i) { return xs[i] + 1; }
+function bench() { return get(1) + get(2); }
+|}
+
+let test_keyed_load_bounds_and_smi () =
+  let rt, f = warm_rt keyed_src "get" in
+  let g = build rt f in
+  Alcotest.(check int) "bounds check" 1 (count_checks g Insn.Out_of_bounds);
+  (* Default config re-checks the loaded element (paper Fig 3 shape). *)
+  Alcotest.(check bool) "element Not-a-SMI check" true
+    (count_checks g Insn.Not_a_smi >= 1);
+  (* Ablation: trusting the elements kind removes element re-checks. *)
+  let g2 = build ~trust:true rt f in
+  Alcotest.(check bool) "trust-elements removes checks" true
+    (count_checks g2 Insn.Not_a_smi < count_checks g Insn.Not_a_smi)
+
+let loop_src =
+  {|
+var data = [];
+for (var i = 0; i < 50; i++) data.push(i % 13);
+function total() {
+  var s = 0;
+  for (var i = 0; i < data.length; i++) s = s + data[i];
+  return s;
+}
+function bench() { return total(); }
+|}
+
+let test_loop_invariant_checks_hoisted () =
+  let rt, f = warm_rt loop_src "total" in
+  let g = build rt f in
+  (* The map check on the (loop-invariant) array is hoisted: exactly one
+     per receiver, not one per iteration-visible block. *)
+  Alcotest.(check bool) "map checks hoisted" true
+    (count_checks g Insn.Wrong_map <= 2);
+  (* TurboProp skips hoisting/elimination: strictly more checks. *)
+  let g2 = build ~turboprop:true rt f in
+  let total g = count_ops g (function Turbofan.Son.N_check _ -> true | _ -> false) in
+  Alcotest.(check bool) "turboprop emits more checks" true (total g2 > total g)
+
+let test_uninitialized_site_soft_deopts () =
+  let src =
+    {|
+function maybe(flag, x) {
+  if (flag) return x + 1;
+  return x * 2;  // never executed during warmup
+}
+function bench() { return maybe(true, 5); }
+|}
+  in
+  let rt, f = warm_rt src "maybe" in
+  let g = build rt f in
+  Alcotest.(check bool) "soft deopt on the cold arm" true
+    (count_ops g (function Turbofan.Son.N_soft_deopt _ -> true | _ -> false)
+     >= 1)
+
+let test_x64_folds_memory_operands () =
+  let rt, f = warm_rt keyed_src "get" in
+  let gx = build ~arch:Arch.X64 rt f in
+  let ga = build ~arch:Arch.Arm64 rt f in
+  let folded g =
+    count_ops g (function
+      | Turbofan.Son.N_check { ckind = Turbofan.Son.C_cmp_mem _; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "x64 uses cmp-with-memory" true (folded gx >= 1);
+  Alcotest.(check int) "arm64 never does" 0 (folded ga)
+
+(* ---------------- Reducer ---------------- *)
+
+let test_fusion_on_ext_arch () =
+  let rt, f = warm_rt loop_src "total" in
+  let g = build ~arch:Arch.Arm64_smi_ext rt f in
+  let before = count_checks g Insn.Not_a_smi in
+  let fused = Turbofan.Reducer.fuse_smi_loads g in
+  Alcotest.(check bool) "some loads fused" true (fused >= 1);
+  Alcotest.(check bool) "explicit Not-a-SMI checks reduced" true
+    (count_checks g Insn.Not_a_smi < before);
+  Alcotest.(check bool) "fused nodes present" true
+    (count_ops g (function Turbofan.Son.N_js_ldr_smi _ -> true | _ -> false)
+     >= 1)
+
+let test_short_circuit_group_isolation () =
+  let rt, f = warm_rt loop_src "total" in
+  let g = build rt f in
+  let arith_before = count_checks g Insn.Overflow in
+  let st = Turbofan.Reducer.short_circuit_checks g ~groups:[ Insn.G_boundary ] in
+  Alcotest.(check bool) "boundary checks removed" true
+    (st.Turbofan.Reducer.checks_removed >= 1);
+  Alcotest.(check int) "boundary gone" 0 (count_checks g Insn.Out_of_bounds);
+  Alcotest.(check int) "arithmetic untouched" arith_before
+    (count_checks g Insn.Overflow)
+
+(* ---------------- Register allocation ---------------- *)
+
+let test_regalloc_well_formed () =
+  let rt, f = warm_rt loop_src "total" in
+  List.iter
+    (fun arch ->
+      let g = build ~arch rt f in
+      if Arch.has_smi_load arch then ignore (Turbofan.Reducer.fuse_smi_loads g);
+      let alloc = Turbofan.Regalloc.allocate g in
+      Array.iteri
+        (fun i loc ->
+          match loc with
+          | Turbofan.Regalloc.L_reg r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "node %d gp reg below scratch" i)
+              true
+              (r >= 0 && r < Turbofan.Regalloc.first_scratch)
+          | Turbofan.Regalloc.L_freg fr ->
+            Alcotest.(check bool) "fp reg below scratch" true
+              (fr >= 0 && fr < Turbofan.Regalloc.num_alloc_fp)
+          | Turbofan.Regalloc.L_slot sl ->
+            Alcotest.(check bool) "slot above reserved frame area" true (sl >= 3)
+          | Turbofan.Regalloc.L_fslot sl ->
+            Alcotest.(check bool) "fslot nonneg" true (sl >= 0)
+          | Turbofan.Regalloc.L_const _ | Turbofan.Regalloc.L_fconst _
+          | Turbofan.Regalloc.L_none ->
+            ())
+        alloc.Turbofan.Regalloc.loc;
+      Alcotest.(check bool) "gp frame covers reserved slots" true
+        (alloc.Turbofan.Regalloc.gp_slots >= 3))
+    [ Arch.X64; Arch.Arm64; Arch.Arm64_smi_ext ]
+
+let test_constants_rematerialized () =
+  let rt, f = warm_rt smi_add_src "add" in
+  let g = build rt f in
+  let alloc = Turbofan.Regalloc.allocate g in
+  for b = 0 to g.Turbofan.Son.n_blocks - 1 do
+    List.iter
+      (fun i ->
+        match (Turbofan.Son.node g i).Turbofan.Son.op with
+        | Turbofan.Son.N_const c ->
+          Alcotest.(check bool) "const location is L_const" true
+            (alloc.Turbofan.Regalloc.loc.(i) = Turbofan.Regalloc.L_const c)
+        | _ -> ())
+      (Turbofan.Son.block g b).Turbofan.Son.body
+  done
+
+(* ---------------- Baseline compiler ---------------- *)
+
+let test_sparkplug_structure () =
+  let rt, f = warm_rt loop_src "total" in
+  let code =
+    Turbofan.Sparkplug.compile ~code_id:99 ~base_addr:0x4000 ~arch:Arch.Arm64
+      rt f
+  in
+  Alcotest.(check int) "no deopt points" 0 (Array.length code.Code.deopts);
+  Alcotest.(check int) "no check instructions" 0
+    (Code.static_check_instructions code);
+  (* Every semantic op is a builtin call. *)
+  let calls =
+    Array.fold_left
+      (fun acc i ->
+        match i.Insn.kind with Insn.Call (Insn.Builtin _, _) -> acc + 1 | _ -> acc)
+      0 code.Code.insns
+  in
+  Alcotest.(check bool) "generic builtin calls present" true (calls >= 4)
+
+let test_sparkplug_context_function () =
+  (* Functions that allocate contexts are baseline-compilable even
+     though the optimizer refuses them. *)
+  let src =
+    {|
+function mk() { var c = 0; return function() { c = c + 1; return c; }; }
+var counter = mk();
+function bench() { return counter(); }
+|}
+  in
+  let rt, f = warm_rt src "mk" in
+  Alcotest.(check bool) "mk allocates a context" true
+    (f.Runtime.info.Bytecode.context_slots > 0);
+  let code =
+    Turbofan.Sparkplug.compile ~code_id:98 ~base_addr:0x5000 ~arch:Arch.Arm64
+      rt f
+  in
+  Alcotest.(check bool) "compiles" true (Code.real_instructions code > 0)
+
+let suite =
+  [
+    ( "lowering",
+      [
+        Alcotest.test_case "smi add" `Quick test_smi_feedback_lowers_checked_add;
+        Alcotest.test_case "float add" `Quick test_number_feedback_lowers_float;
+        Alcotest.test_case "mono property load" `Quick test_mono_property_load_has_map_check;
+        Alcotest.test_case "keyed load" `Quick test_keyed_load_bounds_and_smi;
+        Alcotest.test_case "loop hoisting" `Quick test_loop_invariant_checks_hoisted;
+        Alcotest.test_case "soft deopt on cold code" `Quick test_uninitialized_site_soft_deopts;
+        Alcotest.test_case "x64 memory operands" `Quick test_x64_folds_memory_operands;
+      ] );
+    ( "reducer",
+      [
+        Alcotest.test_case "smi-load fusion" `Quick test_fusion_on_ext_arch;
+        Alcotest.test_case "group isolation" `Quick test_short_circuit_group_isolation;
+      ] );
+    ( "regalloc",
+      [
+        Alcotest.test_case "well-formed locations" `Quick test_regalloc_well_formed;
+        Alcotest.test_case "constants rematerialized" `Quick test_constants_rematerialized;
+      ] );
+    ( "sparkplug",
+      [
+        Alcotest.test_case "structure" `Quick test_sparkplug_structure;
+        Alcotest.test_case "context functions" `Quick test_sparkplug_context_function;
+      ] );
+  ]

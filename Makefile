@@ -1,0 +1,22 @@
+# Convenience entry points; dune is the source of truth.
+
+.PHONY: all build test quick bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Smoke check: build + tier-1 tests + one fast figure under VSPEC_JOBS=2.
+quick:
+	dune build @quick
+
+# Full figure suite + timing report (BENCH_suite.json).
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -10,7 +10,9 @@
    GC) — so regressions in the simulator itself are visible.
 
    Knobs: VSPEC_ITERS (default 200), VSPEC_REPS (default 5), VSPEC_BENCH
-   (comma-separated ids), VSPEC_SKIP_MICRO=1 to skip the Bechamel part. *)
+   (comma-separated ids), VSPEC_SKIP_MICRO=1 to skip the Bechamel part,
+   VSPEC_JOBS (domain-pool size), VSPEC_CACHE_DIR (persistent result
+   cache, "off" to disable), VSPEC_BENCH_OUT (timing report path). *)
 
 open Bechamel
 open Toolkit
@@ -101,5 +103,6 @@ let () =
     (Experiments.Common.iterations ())
     (Experiments.Common.repetitions ())
     (List.length (Experiments.Common.suite ()));
+  Printf.eprintf "[vspec] jobs=%d\n%!" (Support.Pool.default_jobs ());
   Experiments.Registry.run_all ();
   if Sys.getenv_opt "VSPEC_SKIP_MICRO" = None then run_micro ()

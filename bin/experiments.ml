@@ -2,7 +2,10 @@
 
    Environment knobs: VSPEC_ITERS (iterations per run), VSPEC_REPS
    (repetitions for the statistical figures), VSPEC_BENCH
-   (comma-separated benchmark ids to restrict the suite). *)
+   (comma-separated benchmark ids to restrict the suite), VSPEC_JOBS
+   (domain-pool size; 1 = sequential), VSPEC_CACHE_DIR (persistent
+   result cache location, "off" to disable), VSPEC_BENCH_OUT (timing
+   report path, default BENCH_suite.json). *)
 
 let list_experiments () =
   print_endline "available experiments:";
@@ -18,16 +21,18 @@ let run_ids ids =
     print_endline "\n(running everything; pass ids to restrict)";
     Experiments.Registry.run_all ()
   end
-  else
+  else begin
     List.iter
       (fun id ->
         match Experiments.Registry.find id with
-        | Some e -> e.Experiments.Registry.run ()
+        | Some e -> Experiments.Registry.run_timed e
         | None ->
           Printf.eprintf "unknown experiment %s\n" id;
           list_experiments ();
           exit 2)
-      ids
+      ids;
+    Experiments.Timing.write_report ()
+  end
 
 open Cmdliner
 

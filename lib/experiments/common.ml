@@ -3,9 +3,11 @@ type variant =
   | V_no_checks of Insn.check_group list
   | V_no_branches
   | V_interp_only
+  | V_baseline
   | V_smi_ext
   | V_trust_elements
   | V_turboprop
+  | V_fuse_maps
 
 let variant_name = function
   | V_normal -> "normal"
@@ -14,9 +16,11 @@ let variant_name = function
     ^ String.concat "+" (List.map Insn.group_name gs)
   | V_no_branches -> "no-branches"
   | V_interp_only -> "interp"
+  | V_baseline -> "baseline"
   | V_smi_ext -> "smi-ext"
   | V_trust_elements -> "trust-elements"
   | V_turboprop -> "turboprop"
+  | V_fuse_maps -> "fuse-maps"
 
 let config_for ?cpu ~arch ~seed variant =
   let base = Engine.default_config ~arch () in
@@ -33,9 +37,13 @@ let config_for ?cpu ~arch ~seed variant =
     { base with
       Engine.checks = { Engine.disabled_groups = []; remove_branches = true } }
   | V_interp_only -> { base with Engine.enable_optimizer = false }
+  | V_baseline ->
+    { base with Engine.enable_optimizer = false; enable_baseline = true }
   | V_smi_ext -> { base with Engine.arch = Arch.Arm64_smi_ext }
   | V_trust_elements -> { base with Engine.trust_elements_kind = true }
   | V_turboprop -> { base with Engine.turboprop = true }
+  | V_fuse_maps ->
+    { base with Engine.arch = Arch.Arm64_smi_ext; fuse_map_checks = true }
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -45,7 +53,118 @@ let env_int name default =
 let iterations () = env_int "VSPEC_ITERS" 200
 let repetitions () = env_int "VSPEC_REPS" 5
 
-let cache : (string, Harness.result) Hashtbl.t = Hashtbl.create 64
+(* ------------------------------------------------------------------ *)
+(* Persistent on-disk result cache                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Results are keyed by a digest of benchmark id + source + the full
+   engine config + iteration count + [cache_version].  Bump
+   [cache_version] whenever simulation semantics change (engine,
+   machine model, harness measurement) so stale entries can never leak
+   into new runs; changing VSPEC_ITERS / seeds / variants changes the
+   key by construction. *)
+let cache_version = "vspec-cache-v1"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let disk_dir =
+  lazy
+    (let resolve dir =
+       try
+         mkdir_p dir;
+         if Sys.is_directory dir then Some dir else None
+       with _ -> None
+     in
+     match Sys.getenv_opt "VSPEC_CACHE_DIR" with
+     | Some ("" | "off" | "none" | "0") -> None
+     | Some dir -> resolve dir
+     | None ->
+       (* Default next to the build artifacts when run from the project
+          root; disabled elsewhere (e.g. sandboxed test runs). *)
+       if (try Sys.is_directory "_build" with _ -> false) then
+         resolve (Filename.concat "_build" ".vspec-cache")
+       else None)
+
+let digest_key ~kind ~(config : Engine.config) ~iters
+    (bench : Workloads.Suite.benchmark) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [ cache_version; kind; bench.Workloads.Suite.id;
+            bench.Workloads.Suite.source;
+            Marshal.to_string config [];
+            string_of_int iters ]))
+
+let disk_path ~kind ~config ~iters bench =
+  match Lazy.force disk_dir with
+  | None -> None
+  | Some dir ->
+    Some (Filename.concat dir (digest_key ~kind ~config ~iters bench ^ ".bin"))
+
+(* Cross-process safety: loads tolerate missing/corrupt files (they
+   just recompute); stores write to a pid-unique temp file and rename,
+   so concurrent writers of the same key atomically race to an intact
+   file. *)
+let disk_load : 'a. kind:string -> config:Engine.config -> iters:int ->
+    Workloads.Suite.benchmark -> 'a option =
+ fun ~kind ~config ~iters bench ->
+  match disk_path ~kind ~config ~iters bench with
+  | None -> None
+  | Some path ->
+    if not (Sys.file_exists path) then None
+    else begin
+      match open_in_bin path with
+      | exception _ -> None
+      | ic ->
+        let v = try Some (Marshal.from_channel ic) with _ -> None in
+        close_in_noerr ic;
+        v
+    end
+
+let disk_store ~kind ~config ~iters bench v =
+  match disk_path ~kind ~config ~iters bench with
+  | None -> ()
+  | Some path ->
+    (try
+       let tmp =
+         Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+           (Domain.self () :> int)
+       in
+       let oc = open_out_bin tmp in
+       Marshal.to_channel oc v [];
+       close_out oc;
+       Sys.rename tmp path
+     with _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safe memo tables                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cache : (string, Harness.result) Support.Pool.Memo.t =
+  Support.Pool.Memo.create 64
+
+let calib_cache :
+    (string, Insn.check_group list * Insn.check_group list) Support.Pool.Memo.t =
+  Support.Pool.Memo.create 64
+
+let ref_cache : (string, float) Support.Pool.Memo.t = Support.Pool.Memo.create 64
+
+let simulations = Atomic.make 0
+let disk_hits = Atomic.make 0
+
+let cache_stats () = (Atomic.get simulations, Atomic.get disk_hits)
+
+let clear_memo () =
+  Support.Pool.Memo.clear cache;
+  Support.Pool.Memo.clear calib_cache;
+  Support.Pool.Memo.clear ref_cache;
+  Atomic.set simulations 0;
+  Atomic.set disk_hits 0
 
 let run_cached ?cpu ?iterations:iters ~arch ~seed variant bench =
   let iters = match iters with Some i -> i | None -> iterations () in
@@ -56,38 +175,40 @@ let run_cached ?cpu ?iterations:iters ~arch ~seed variant bench =
     Printf.sprintf "%s|%s|%s|%d|%d|%s" bench.Workloads.Suite.id
       (Arch.name arch) (variant_name variant) seed iters cpu_name
   in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
-  | None ->
-    let config = config_for ?cpu ~arch ~seed variant in
-    let r = Harness.run ~iterations:iters ~config bench in
-    Hashtbl.replace cache key r;
-    r
-
-let calib_cache : (string, Insn.check_group list * Insn.check_group list) Hashtbl.t =
-  Hashtbl.create 64
+  Support.Pool.Memo.find_or_compute cache key (fun () ->
+      let config = config_for ?cpu ~arch ~seed variant in
+      match disk_load ~kind:"run" ~config ~iters bench with
+      | Some (r : Harness.result) ->
+        Atomic.incr disk_hits;
+        r
+      | None ->
+        Atomic.incr simulations;
+        let r = Harness.run ~iterations:iters ~config bench in
+        disk_store ~kind:"run" ~config ~iters bench r;
+        r)
 
 let removable_groups ~arch bench =
   let key = bench.Workloads.Suite.id ^ "|" ^ Arch.name arch in
-  match Hashtbl.find_opt calib_cache key with
-  | Some r -> r
-  | None ->
-    let config = config_for ~arch ~seed:1 V_normal in
-    let r = Harness.calibrate_removable ~iterations:60 ~config bench in
-    Hashtbl.replace calib_cache key r;
-    r
-
-let ref_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+  Support.Pool.Memo.find_or_compute calib_cache key (fun () ->
+      let config = config_for ~arch ~seed:1 V_normal in
+      let iters = 60 in
+      match disk_load ~kind:"calib" ~config ~iters bench with
+      | Some (r : Insn.check_group list * Insn.check_group list) ->
+        Atomic.incr disk_hits;
+        r
+      | None ->
+        Atomic.incr simulations;
+        let r = Harness.calibrate_removable ~iterations:iters ~config bench in
+        disk_store ~kind:"calib" ~config ~iters bench r;
+        r)
 
 let reference_checksum bench =
-  match Hashtbl.find_opt ref_cache bench.Workloads.Suite.id with
-  | Some v -> v
-  | None ->
-    let r =
-      run_cached ~iterations:3 ~arch:Arch.Arm64 ~seed:1 V_interp_only bench
-    in
-    Hashtbl.replace ref_cache bench.Workloads.Suite.id r.Harness.checksum;
-    r.Harness.checksum
+  Support.Pool.Memo.find_or_compute ref_cache bench.Workloads.Suite.id
+    (fun () ->
+      let r =
+        run_cached ~iterations:3 ~arch:Arch.Arm64 ~seed:1 V_interp_only bench
+      in
+      r.Harness.checksum)
 
 let suite () =
   match Sys.getenv_opt "VSPEC_BENCH" with

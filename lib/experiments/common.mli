@@ -1,15 +1,26 @@
-(** Shared experiment plumbing: engine-config variants, a process-wide
-    result cache (figures share the expensive "normal run" of every
-    benchmark), and the check-removal calibration cache. *)
+(** Shared experiment plumbing: engine-config variants, the process-wide
+    result caches (figures share the expensive "normal run" of every
+    benchmark), and the check-removal calibration cache.
+
+    All memo tables are domain-safe with single-flight semantics: when
+    the {!Plan} layer fans cells out across a {!Support.Pool}, each
+    distinct simulation runs exactly once no matter how many domains
+    ask for it.  Results are additionally persisted to an on-disk cache
+    ([_build/.vspec-cache/] or [VSPEC_CACHE_DIR]; set to [off] to
+    disable) keyed by a digest of benchmark source + full engine config
+    + iteration count + a cache-format version, so re-runs skip
+    already-simulated cells across processes. *)
 
 type variant =
   | V_normal
   | V_no_checks of Insn.check_group list  (** groups short-circuited *)
   | V_no_branches
   | V_interp_only
+  | V_baseline  (** interpreter + SparkPlug-style baseline tier *)
   | V_smi_ext
   | V_trust_elements
   | V_turboprop
+  | V_fuse_maps  (** extended ISA + fused map checks (Section VII) *)
 
 val variant_name : variant -> string
 
@@ -25,7 +36,7 @@ val repetitions : unit -> int
 val run_cached :
   ?cpu:Cpu.config -> ?iterations:int -> arch:Arch.t -> seed:int ->
   variant -> Workloads.Suite.benchmark -> Harness.result
-(** Memoized {!Harness.run}. *)
+(** Memoized {!Harness.run}: domain-safe, single-flight, disk-backed. *)
 
 val removable_groups :
   arch:Arch.t -> Workloads.Suite.benchmark ->
@@ -38,3 +49,12 @@ val reference_checksum : Workloads.Suite.benchmark -> float
 val suite : unit -> Workloads.Suite.benchmark list
 (** The benchmark list, restricted by VSPEC_BENCH (comma-separated ids)
     if set. *)
+
+val cache_stats : unit -> int * int
+(** [(simulations, disk_hits)] since start/last {!clear_memo}: fresh
+    simulations actually executed by this process vs results served
+    from the on-disk cache. *)
+
+val clear_memo : unit -> unit
+(** Drop all in-memory memo entries and reset {!cache_stats} (the disk
+    cache is untouched).  For tests. *)

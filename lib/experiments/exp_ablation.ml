@@ -1,7 +1,19 @@
+let target (b : Workloads.Suite.benchmark) =
+  b.Workloads.Suite.category = Workloads.Suite.Sparse
+  || b.Workloads.Suite.category = Workloads.Suite.Crypto
+
 let elements () =
+  let arch = Arch.Arm64 in
+  Plan.run
+    (List.concat_map
+       (fun b ->
+         if target b then
+           [ Plan.cell ~arch ~seed:1 Common.V_normal b;
+             Plan.cell ~arch ~seed:1 Common.V_trust_elements b ]
+         else [])
+       (Common.suite ()));
   Support.Table.section
     "Ablation: re-checking SMI element loads vs trusting the elements kind";
-  let arch = Arch.Arm64 in
   let t =
     Support.Table.create
       ~title:
@@ -12,10 +24,7 @@ let elements () =
   in
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
-      if
-        b.Workloads.Suite.category = Workloads.Suite.Sparse
-        || b.Workloads.Suite.category = Workloads.Suite.Crypto
-      then begin
+      if target b then begin
         let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
         let r2 = Common.run_cached ~arch ~seed:1 Common.V_trust_elements b in
         if r1.Harness.error = None && r2.Harness.error = None then

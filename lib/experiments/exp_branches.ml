@@ -1,6 +1,16 @@
 let pct_change a b = if a = 0.0 then 0.0 else 100.0 *. ((b -. a) /. a)
 
 let fig10 () =
+  Plan.run
+    (List.concat_map
+       (fun arch ->
+         List.concat_map
+           (fun b ->
+             [ Plan.calibration_cell ~arch b;
+               Plan.cell ~arch ~seed:1 Common.V_normal b;
+               Plan.cell ~arch ~seed:1 Common.V_no_branches b ])
+           (Common.suite ()))
+       [ Arch.X64; Arch.Arm64 ]);
   Support.Table.section
     "Fig 10: relative change of HW metrics after removing only check branches";
   List.iter

@@ -1,6 +1,17 @@
 let archs = [ Arch.X64; Arch.Arm64 ]
 
+(* Fan the figure's full cell set out across the domain pool before the
+   (sequential, deterministic) table-building body reads the caches. *)
+let normal_cells () =
+  List.concat_map
+    (fun arch ->
+      List.map
+        (fun b -> Plan.cell ~arch ~seed:1 Common.V_normal b)
+        (Common.suite ()))
+    archs
+
 let fig1 () =
+  Plan.run (normal_cells ());
   Support.Table.section
     "Fig 1: deoptimization checks per 100 instructions (dynamic and static)";
   let t =
@@ -88,6 +99,7 @@ let fig3 () =
           print_string (Code.listing ~samples code)))
 
 let fig4 () =
+  Plan.run (normal_cells ());
   Support.Table.section
     "Fig 4: check-type breakdown -- frequency (checks/100 instr) and sampled overhead share";
   List.iter

@@ -1,7 +1,21 @@
+let target (b : Workloads.Suite.benchmark) =
+  b.Workloads.Suite.category = Workloads.Suite.Objects
+  || b.Workloads.Suite.category = Workloads.Suite.Sparse
+
 let futurework () =
+  let iters = max 40 (Common.iterations () / 4) in
+  Plan.run
+    (List.concat_map
+       (fun b ->
+         if target b then
+           [ Plan.cell ~cpu:Cpu.o3_kpg ~iters ~arch:Arch.Arm64 ~seed:1
+               Common.V_smi_ext b;
+             Plan.cell ~cpu:Cpu.o3_kpg ~iters ~arch:Arch.Arm64 ~seed:1
+               Common.V_fuse_maps b ]
+         else [])
+       (Common.suite ()));
   Support.Table.section
     "Future work (paper Section VII): fused map checks (jschkmap) on top of jsldrsmi";
-  let iters = max 40 (Common.iterations () / 4) in
   let t =
     Support.Table.create
       ~title:"object-heavy benchmarks, extended ISA, O3-KPG"
@@ -11,20 +25,13 @@ let futurework () =
   in
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
-      if
-        b.Workloads.Suite.category = Workloads.Suite.Objects
-        || b.Workloads.Suite.category = Workloads.Suite.Sparse
-      then begin
-        let run fuse =
-          let config =
-            { (Common.config_for ~cpu:Cpu.o3_kpg ~arch:Arch.Arm64 ~seed:1
-                 Common.V_smi_ext)
-              with Engine.fuse_map_checks = fuse }
-          in
-          Harness.run ~iterations:iters ~config b
+      if target b then begin
+        let run variant =
+          Common.run_cached ~cpu:Cpu.o3_kpg ~iterations:iters ~arch:Arch.Arm64
+            ~seed:1 variant b
         in
-        let base = run false in
-        let fused = run true in
+        let base = run Common.V_smi_ext in
+        let fused = run Common.V_fuse_maps in
         if base.Harness.error = None && fused.Harness.error = None
            && base.Harness.checksum = fused.Harness.checksum
         then begin

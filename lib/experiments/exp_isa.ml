@@ -98,6 +98,22 @@ function bench() {
     (fun (r, n) -> Printf.printf "deopt %s: %d\n" (Insn.reason_name r) n)
     (Engine.deopt_counts eng)
 
+(* The full (bench x cpu x rep x ISA) cell set behind fig13/fig14. *)
+let isa_cells () =
+  let iters = gem5_iters () in
+  List.concat_map
+    (fun b ->
+      List.concat_map
+        (fun cpu ->
+          List.concat_map
+            (fun rep ->
+              let seed = 100 + rep in
+              [ Plan.cell ~cpu ~iters ~arch:Arch.Arm64 ~seed Common.V_normal b;
+                Plan.cell ~cpu ~iters ~arch:Arch.Arm64 ~seed Common.V_smi_ext b ])
+            (List.init (Common.repetitions ()) Fun.id))
+        Cpu.gem5_cpus)
+    (smi_benches ())
+
 (* Per (bench, cpu): arrays of per-rep total cycles for both ISAs and
    retired-instruction counts. *)
 let isa_runs b cpu =
@@ -124,6 +140,7 @@ let isa_runs b cpu =
   (base, ext, !base_instr, !ext_instr)
 
 let fig13 () =
+  Plan.run (isa_cells ());
   Support.Table.section
     "Fig 13: extended-ISA speedups on SMI kernels, per CPU model";
   let cpus = Cpu.gem5_cpus in
@@ -168,6 +185,7 @@ let fig13 () =
   end
 
 let fig14 () =
+  Plan.run (isa_cells ());
   Support.Table.section
     "Fig 14: execution-time distributions, default vs extended ISA";
   let cpus = Cpu.gem5_cpus in

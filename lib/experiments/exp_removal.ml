@@ -8,6 +8,22 @@ type speedups = {
 
 let archs = [ Arch.X64; Arch.Arm64 ]
 
+(* The per-(bench, seed) cell set behind [speedups_for]: calibration is
+   a dependency stage (Plan schedules it first), then normal + removal
+   runs for every repetition seed. *)
+let speedup_cells ~arch (b : Workloads.Suite.benchmark) =
+  List.concat_map
+    (fun rep ->
+      let seed = rep + 1 in
+      [ Plan.cell ~arch ~seed Common.V_normal b;
+        Plan.removal_cell ~arch ~seed b ])
+    (List.init (Common.repetitions ()) Fun.id)
+
+let all_speedup_cells () =
+  List.concat_map
+    (fun arch -> List.concat_map (speedup_cells ~arch) (Common.suite ()))
+    archs
+
 let speedup_cache : (string, speedups) Hashtbl.t = Hashtbl.create 64
 
 let speedups_for ~arch (b : Workloads.Suite.benchmark) =
@@ -48,9 +64,15 @@ let speedups_for ~arch (b : Workloads.Suite.benchmark) =
     s
 
 let fig6 () =
+  let arch = Arch.Arm64 in
+  Plan.run
+    (List.concat_map
+       (fun b ->
+         [ Plan.cell ~arch ~seed:1 Common.V_normal b;
+           Plan.removal_cell ~arch ~seed:1 b ])
+       (Common.suite ()));
   Support.Table.section
     "Fig 6: relative per-iteration time, with checks vs removed (ARM64)";
-  let arch = Arch.Arm64 in
   let t =
     Support.Table.create
       ~title:
@@ -110,6 +132,7 @@ let fig6 () =
     (100.0 *. Support.Stats.mean diffs)
 
 let fig7 () =
+  Plan.run (all_speedup_cells ());
   Support.Table.section
     "Fig 7: per-benchmark speedup estimates, both methods, 95% CIs";
   List.iter
@@ -149,6 +172,7 @@ let fig7 () =
     archs
 
 let fig8 () =
+  Plan.run (all_speedup_cells ());
   Support.Table.section "Fig 8: speedups by benchmark category";
   let t =
     Support.Table.create ~title:"geometric-mean speedups per category"
@@ -189,6 +213,7 @@ let fig8 () =
   Support.Table.print t
 
 let fig9 () =
+  Plan.run (all_speedup_cells ());
   Support.Table.section
     "Fig 9: correlation of the two overhead estimators";
   let t =

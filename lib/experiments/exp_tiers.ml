@@ -1,8 +1,17 @@
+let variants =
+  [ Common.V_interp_only; Common.V_baseline; Common.V_turboprop;
+    Common.V_normal ]
+
 let tiers () =
-  Support.Table.section
-    "Tier ablation: interpreter / baseline (SparkPlug) / TurboProp / TurboFan";
   let arch = Arch.Arm64 in
   let iters = max 40 (Common.iterations () / 4) in
+  Plan.run
+    (List.concat_map
+       (fun b ->
+         List.map (fun v -> Plan.cell ~iters ~arch ~seed:1 v b) variants)
+       (Common.suite ()));
+  Support.Table.section
+    "Tier ablation: interpreter / baseline (SparkPlug) / TurboProp / TurboFan";
   let t =
     Support.Table.create
       ~title:
@@ -11,20 +20,15 @@ let tiers () =
         [ "benchmark"; "interp"; "baseline"; "turboprop"; "turbofan";
           "tp checks/100"; "tf checks/100" ]
   in
-  let run b variant extra =
-    let config = Common.config_for ~arch ~seed:1 variant in
-    let config = extra config in
-    Harness.run ~iterations:iters ~config b
+  let run b variant =
+    Common.run_cached ~iterations:iters ~arch ~seed:1 variant b
   in
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
-      let interp = run b Common.V_interp_only Fun.id in
-      let baseline =
-        run b Common.V_interp_only (fun c ->
-            { c with Engine.enable_baseline = true })
-      in
-      let turboprop = run b Common.V_turboprop Fun.id in
-      let turbofan = run b Common.V_normal Fun.id in
+      let interp = run b Common.V_interp_only in
+      let baseline = run b Common.V_baseline in
+      let turboprop = run b Common.V_turboprop in
+      let turbofan = run b Common.V_normal in
       let s r = Harness.steady_state_cycles r in
       let base = s turbofan in
       if base > 0.0 then

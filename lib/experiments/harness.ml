@@ -28,8 +28,7 @@ let with_seed (cfg : Engine.config) seed = { cfg with Engine.seed }
 
    Ground truth: instruction provenance recorded by the code
    generator. *)
-let attribute_code ~(code : Code.t) ~(samples : int array) ~window_acc
-    ~truth_acc =
+let check_window_map (code : Code.t) =
   let insns = code.Code.insns in
   let w = Arch.check_window code.Code.arch in
   let n = Array.length insns in
@@ -58,6 +57,13 @@ let attribute_code ~(code : Code.t) ~(samples : int array) ~window_acc
       window_group.(i) <- Insn.group_index (Insn.group_of_reason reason)
     | _ -> ()
   done;
+  window_group
+
+let attribute_code_with ~window_map ~(code : Code.t) ~(samples : int array)
+    ~window_acc ~truth_acc =
+  let insns = code.Code.insns in
+  let n = Array.length insns in
+  let window_group = window_map in
   let jit = ref 0 in
   for i = 0 to min (n - 1) (Array.length samples - 1) do
     let s = samples.(i) in
@@ -73,6 +79,10 @@ let attribute_code ~(code : Code.t) ~(samples : int array) ~window_acc
     end
   done;
   !jit
+
+let attribute_code ~code ~samples ~window_acc ~truth_acc =
+  attribute_code_with ~window_map:(check_window_map code) ~code ~samples
+    ~window_acc ~truth_acc
 
 let copy_counters c =
   let fresh = Perf.create_counters () in
@@ -115,11 +125,22 @@ let run ?(iterations = 300) ~(config : Engine.config) bench =
   | Builtins.Js_error m -> error := Some ("js error in setup: " ^ m)
   | Heap.Out_of_memory -> error := Some "out of memory"
   | e -> error := Some ("setup divergence: " ^ Printexc.to_string e));
-  (* Sample attribution. *)
+  (* Sample attribution.  The window back-walk is per code object, not
+     per sample batch: precompute it once per code id and reuse it
+     across attributions. *)
   let window_acc = Array.make 6 0 in
   let truth_acc = Array.make 6 0 in
   let jit_samples = ref 0 in
   let total_samples = ref 0 in
+  let window_maps : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let window_map_for code_id code =
+    match Hashtbl.find_opt window_maps code_id with
+    | Some wm -> wm
+    | None ->
+      let wm = check_window_map code in
+      Hashtbl.add window_maps code_id wm;
+      wm
+  in
   (match Engine.sampler eng with
   | None -> ()
   | Some s ->
@@ -135,7 +156,9 @@ let run ?(iterations = 300) ~(config : Engine.config) bench =
             in
             jit_samples :=
               !jit_samples
-              + attribute_code ~code ~samples ~window_acc ~truth_acc
+              + attribute_code_with
+                  ~window_map:(window_map_for code_id code)
+                  ~code ~samples ~window_acc ~truth_acc
         end)
       (Perf.samples_by_code s));
   let static_checks, static_insns =
@@ -223,7 +246,12 @@ let steady_state_cycles r =
   let n = Array.length r.iter_cycles in
   if n = 0 then 0.0
   else begin
+    (* Tail mean in place: same summation order as Stats.mean over the
+       Array.sub slice, without allocating it. *)
     let from = n - max 1 (n / 3) in
-    let slice = Array.sub r.iter_cycles from (n - from) in
-    Support.Stats.mean slice
+    let sum = ref 0.0 in
+    for i = from to n - 1 do
+      sum := !sum +. r.iter_cycles.(i)
+    done;
+    !sum /. float_of_int (n - from)
   end

@@ -59,10 +59,24 @@ val steady_state_cycles : result -> float
 
 val with_seed : Engine.config -> int -> Engine.config
 
+val check_window_map : Code.t -> int array
+(** Per-instruction check-group index (-1 = main line) under the arch
+    window heuristic; depends only on the code object, so callers
+    attributing several sample batches against one code object should
+    compute it once and pass it to {!attribute_code}. *)
+
 val attribute_code :
   code:Code.t -> samples:int array -> window_acc:int array ->
   truth_acc:int array -> int
 (** The Section III-A estimator in isolation: attributes per-instruction
     PC samples to check groups via the arch window heuristic
     ([window_acc]) and via instruction provenance ([truth_acc]); returns
-    the total samples on the code object.  Exposed for testing. *)
+    the total samples on the code object.  Exposed for testing.
+    Equivalent to {!attribute_code_with} over a fresh
+    [check_window_map]. *)
+
+val attribute_code_with :
+  window_map:int array -> code:Code.t -> samples:int array ->
+  window_acc:int array -> truth_acc:int array -> int
+(** Attribution against a precomputed {!check_window_map}, so the
+    per-code back-walk is not redone per sample batch. *)

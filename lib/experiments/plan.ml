@@ -1,0 +1,69 @@
+type spec =
+  | S_variant of Common.variant
+  | S_removal  (** V_no_checks of the calibrated removable set *)
+  | S_calibration_only
+
+type cell = {
+  c_bench : Workloads.Suite.benchmark;
+  c_arch : Arch.t;
+  c_spec : spec;
+  c_seed : int;
+  c_iters : int option;
+  c_cpu : Cpu.config option;
+}
+
+let cell ?cpu ?iters ~arch ~seed variant bench =
+  { c_bench = bench; c_arch = arch; c_spec = S_variant variant; c_seed = seed;
+    c_iters = iters; c_cpu = cpu }
+
+let removal_cell ?cpu ?iters ~arch ~seed bench =
+  { c_bench = bench; c_arch = arch; c_spec = S_removal; c_seed = seed;
+    c_iters = iters; c_cpu = cpu }
+
+let calibration_cell ~arch bench =
+  { c_bench = bench; c_arch = arch; c_spec = S_calibration_only; c_seed = 1;
+    c_iters = None; c_cpu = None }
+
+let needs_calibration c =
+  match c.c_spec with
+  | S_removal | S_calibration_only -> true
+  | S_variant _ -> false
+
+let execute c =
+  match c.c_spec with
+  | S_calibration_only -> ()
+  | S_variant v ->
+    ignore
+      (Common.run_cached ?cpu:c.c_cpu ?iterations:c.c_iters ~arch:c.c_arch
+         ~seed:c.c_seed v c.c_bench)
+  | S_removal ->
+    let removable, _ = Common.removable_groups ~arch:c.c_arch c.c_bench in
+    ignore
+      (Common.run_cached ?cpu:c.c_cpu ?iterations:c.c_iters ~arch:c.c_arch
+         ~seed:c.c_seed (Common.V_no_checks removable) c.c_bench)
+
+let run ?jobs cells =
+  (* Stage 1: calibrations — removal cells cannot know their variant
+     until the (bench, arch) calibration exists, and running it inside
+     the fan-out would serialize every removal cell of one benchmark
+     behind a single-flight entry. *)
+  let calib =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun c ->
+           if needs_calibration c then
+             Some (c.c_bench.Workloads.Suite.id, c.c_arch)
+           else None)
+         cells)
+  in
+  let by_id id = List.find (fun c -> c.c_bench.Workloads.Suite.id = id) cells in
+  Support.Pool.iter ?jobs
+    (fun (id, arch) ->
+      ignore (Common.removable_groups ~arch (by_id id).c_bench))
+    calib;
+  (* Stage 2: everything else. *)
+  Support.Pool.iter ?jobs execute
+    (List.filter (fun c -> c.c_spec <> S_calibration_only) cells)
+
+let result ?cpu ?iters ~arch ~seed variant bench =
+  Common.run_cached ?cpu ?iterations:iters ~arch ~seed variant bench

@@ -31,7 +31,10 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+let run_timed e = Timing.timed e.id e.run
+
 (* The future-work prototype is beyond the paper's evaluation: runnable
    explicitly, excluded from the default full run. *)
 let run_all () =
-  List.iter (fun e -> if e.id <> "futurework" then e.run ()) all
+  List.iter (fun e -> if e.id <> "futurework" then run_timed e) all;
+  Timing.write_report ()

@@ -9,4 +9,11 @@ type entry = {
 
 val all : entry list
 val find : string -> entry option
+
+val run_timed : entry -> unit
+(** Run one figure under the {!Timing} wrapper (wall-clock recorded for
+    BENCH_suite.json). *)
+
 val run_all : unit -> unit
+(** Every figure except the future-work prototype, each timed; writes
+    the BENCH_suite.json timing report at the end. *)

@@ -1,11 +1,18 @@
 let run () =
+  let suite = Common.suite () in
+  let arch = Arch.Arm64 in
+  Plan.run
+    (List.concat_map
+       (fun b ->
+         [ Plan.cell ~arch ~seed:1 Common.V_normal b;
+           Plan.removal_cell ~arch ~seed:1 b;
+           Plan.cell ~arch ~seed:1 Common.V_no_branches b ])
+       suite);
   Support.Table.section "Summary: paper claims vs this reproduction";
   let t =
     Support.Table.create ~title:"headline numbers"
       ~columns:[ "claim"; "paper"; "measured"; "where" ]
   in
-  let suite = Common.suite () in
-  let arch = Arch.Arm64 in
 
   (* Checks per 100 instructions. *)
   let freqs =

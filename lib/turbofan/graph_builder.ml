@@ -232,16 +232,21 @@ let to_int32 st env blk fs n =
   | Son.K_float -> Son.add_node st.g blk Son.N_float_to_int [| n |]
   | Son.K_bool -> bailout "boolean in integer arithmetic"
 
-let hn_map_cache : (Heap.t * int) option ref = ref None
+(* Per-domain: compiles run concurrently under the experiment pool, and
+   a shared slot would thrash between domains' heaps (the heap identity
+   check keeps it correct either way). *)
+let hn_map_cache : (Heap.t * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let heap_number_map_id st =
   (* The heap-number map id is stable; fetch it once via a probe value. *)
-  match !hn_map_cache with
+  let cache = Domain.DLS.get hn_map_cache in
+  match !cache with
   | Some (h, id) when h == heap st -> id
   | _ ->
     let h = heap st in
     let id = Heap.map_id_of_map_ptr h (Heap.load h (Heap.alloc_heap_number h 0.0) 0) in
-    hn_map_cache := Some (h, id);
+    cache := Some (h, id);
     id
 
 let to_float st env blk fs n =

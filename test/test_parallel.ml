@@ -1,0 +1,118 @@
+(* End-to-end determinism of the parallel experiment layer: a
+   VSPEC_JOBS=4 plan must produce results bit-identical (checksums,
+   counters, sample attributions — the whole marshaled result) to
+   VSPEC_JOBS=1, and the jobs=1 path must be identical to calling the
+   harness directly (the pre-plan sequential path). *)
+
+(* The on-disk cache must not leak state between the two runs. *)
+let () = Unix.putenv "VSPEC_CACHE_DIR" "off"
+
+let iters = 12
+let bench ids = List.filter_map Workloads.Suite.by_id ids
+let benches () = bench [ "DP"; "HASH" ]
+
+let digest (r : Experiments.Harness.result) =
+  Digest.to_hex (Digest.string (Marshal.to_string r []))
+
+let plan_cells bs =
+  List.concat_map
+    (fun b ->
+      [ Experiments.Plan.cell ~iters ~arch:Arch.Arm64 ~seed:1
+          Experiments.Common.V_normal b;
+        Experiments.Plan.cell ~iters ~arch:Arch.X64 ~seed:2
+          Experiments.Common.V_normal b;
+        Experiments.Plan.removal_cell ~iters ~arch:Arch.Arm64 ~seed:1 b ])
+    bs
+
+(* Read every planned result (and the calibration it depends on) back
+   out of the warm caches as stable digests. *)
+let snapshot bs =
+  List.concat_map
+    (fun b ->
+      let removable, fired =
+        Experiments.Common.removable_groups ~arch:Arch.Arm64 b
+      in
+      let r1 =
+        Experiments.Common.run_cached ~iterations:iters ~arch:Arch.Arm64
+          ~seed:1 Experiments.Common.V_normal b
+      in
+      let r2 =
+        Experiments.Common.run_cached ~iterations:iters ~arch:Arch.X64 ~seed:2
+          Experiments.Common.V_normal b
+      in
+      let r3 =
+        Experiments.Common.run_cached ~iterations:iters ~arch:Arch.Arm64
+          ~seed:1
+          (Experiments.Common.V_no_checks removable)
+          b
+      in
+      [ String.concat "+" (List.map Insn.group_name removable);
+        String.concat "+" (List.map Insn.group_name fired);
+        digest r1; digest r2; digest r3 ])
+    bs
+
+let run_plan ~jobs bs =
+  Experiments.Common.clear_memo ();
+  Experiments.Plan.run ~jobs (plan_cells bs);
+  let sims_after_plan, _ = Experiments.Common.cache_stats () in
+  let snap = snapshot bs in
+  let sims_after_snap, _ = Experiments.Common.cache_stats () in
+  (snap, sims_after_plan, sims_after_snap)
+
+let test_parallel_matches_sequential () =
+  let bs = benches () in
+  let seq, seq_plan_sims, seq_total_sims = run_plan ~jobs:1 bs in
+  let par, par_plan_sims, par_total_sims = run_plan ~jobs:4 bs in
+  Alcotest.(check (list string)) "jobs=4 identical to jobs=1" seq par;
+  (* The plan covered the driver's whole cell set: reading results back
+     costs zero new simulations, sequential or parallel. *)
+  Alcotest.(check int) "no extra sims after sequential plan" seq_plan_sims
+    seq_total_sims;
+  Alcotest.(check int) "no extra sims after parallel plan" par_plan_sims
+    par_total_sims;
+  Alcotest.(check int) "same simulation count" seq_total_sims par_total_sims
+
+let test_jobs1_matches_direct_harness () =
+  let b = Option.get (Workloads.Suite.by_id "DP") in
+  Experiments.Common.clear_memo ();
+  Experiments.Plan.run ~jobs:1
+    [ Experiments.Plan.cell ~iters ~arch:Arch.Arm64 ~seed:1
+        Experiments.Common.V_normal b ];
+  let cached =
+    Experiments.Common.run_cached ~iterations:iters ~arch:Arch.Arm64 ~seed:1
+      Experiments.Common.V_normal b
+  in
+  let direct =
+    Experiments.Harness.run ~iterations:iters
+      ~config:
+        (Experiments.Common.config_for ~arch:Arch.Arm64 ~seed:1
+           Experiments.Common.V_normal)
+      b
+  in
+  Alcotest.(check string) "plan result = direct harness run" (digest direct)
+    (digest cached)
+
+let test_single_flight_under_duplication () =
+  (* The same cell listed many times still simulates once. *)
+  let b = Option.get (Workloads.Suite.by_id "DP") in
+  Experiments.Common.clear_memo ();
+  let cell () =
+    Experiments.Plan.cell ~iters ~arch:Arch.Arm64 ~seed:7
+      Experiments.Common.V_normal b
+  in
+  Experiments.Plan.run ~jobs:4 (List.init 12 (fun _ -> cell ()));
+  let sims, _ = Experiments.Common.cache_stats () in
+  Alcotest.(check int) "one simulation for twelve duplicate cells" 1 sims
+
+let suite =
+  [
+    ( "parallel-determinism",
+      [
+        Alcotest.test_case "jobs=4 = jobs=1 (full results)" `Quick
+          test_parallel_matches_sequential;
+        Alcotest.test_case "jobs=1 = direct harness" `Quick
+          test_jobs1_matches_direct_harness;
+        Alcotest.test_case "duplicate cells single-flight" `Quick
+          test_single_flight_under_duplication;
+      ] );
+  ]

@@ -1,0 +1,142 @@
+(* Unit tests for the Support.Pool domain pool and its single-flight
+   memo table: result ordering, exception propagation, the jobs=1
+   sequential fallback, and single-flight semantics under contention. *)
+
+let test_map_ordering () =
+  let xs = Array.init 100 Fun.id in
+  let ys = Support.Pool.map_array ~jobs:4 (fun i -> i * i) xs in
+  Alcotest.(check (array int)) "ordered results"
+    (Array.init 100 (fun i -> i * i))
+    ys;
+  let zs = Support.Pool.map ~jobs:3 string_of_int [ 3; 1; 2 ] in
+  Alcotest.(check (list string)) "list order" [ "3"; "1"; "2" ] zs
+
+let test_run_ordering () =
+  let rs = Support.Pool.run ~jobs:4 (List.init 20 (fun i () -> i + 100)) in
+  Alcotest.(check (list int)) "thunk order" (List.init 20 (fun i -> i + 100)) rs
+
+let test_uneven_costs () =
+  (* Dynamic scheduling: wildly uneven job costs still produce ordered
+     results. *)
+  let xs = Array.init 24 (fun i -> if i mod 7 = 0 then 30000 else 10) in
+  let ys =
+    Support.Pool.map_array ~jobs:4
+      (fun n ->
+        let acc = ref 0 in
+        for k = 1 to n do
+          acc := !acc + k
+        done;
+        !acc)
+      xs
+  in
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check int) "sum" (n * (n + 1) / 2) ys.(i))
+    xs
+
+let test_jobs1_sequential () =
+  (* jobs = 1 runs everything in the calling domain, in order. *)
+  let self = (Domain.self () :> int) in
+  let order = ref [] in
+  let ys =
+    Support.Pool.map ~jobs:1
+      (fun i ->
+        order := i :: !order;
+        (Domain.self () :> int))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check (list int)) "in calling domain" [ self; self; self; self; self ] ys;
+  Alcotest.(check (list int)) "submission order" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_exception_propagation () =
+  Alcotest.check_raises "propagates the job's exception" (Failure "boom")
+    (fun () ->
+      ignore
+        (Support.Pool.map ~jobs:3
+           (fun i -> if i = 25 then failwith "boom" else i)
+           (List.init 50 Fun.id)))
+
+let test_exception_jobs1 () =
+  Alcotest.check_raises "sequential fallback too" (Failure "seq")
+    (fun () ->
+      ignore
+        (Support.Pool.map ~jobs:1
+           (fun i -> if i = 3 then failwith "seq" else i)
+           (List.init 8 Fun.id)))
+
+let test_default_jobs_env () =
+  Unix.putenv "VSPEC_JOBS" "3";
+  Alcotest.(check int) "VSPEC_JOBS wins" 3 (Support.Pool.default_jobs ());
+  Unix.putenv "VSPEC_JOBS" "not-a-number";
+  Alcotest.(check bool) "garbage falls back to >= 1" true
+    (Support.Pool.default_jobs () >= 1);
+  Unix.putenv "VSPEC_JOBS" "1"
+
+let test_memo_single_flight () =
+  let m : (string, int) Support.Pool.Memo.t = Support.Pool.Memo.create 4 in
+  let computed = Atomic.make 0 in
+  let rs =
+    Support.Pool.run ~jobs:4
+      (List.init 16 (fun _ () ->
+           Support.Pool.Memo.find_or_compute m "key" (fun () ->
+               Atomic.incr computed;
+               (* Widen the race window so concurrent domains really do
+                  contend for the same in-flight key. *)
+               Unix.sleepf 0.02;
+               42)))
+  in
+  Alcotest.(check (list int)) "all callers get the value"
+    (List.init 16 (fun _ -> 42))
+    rs;
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computed);
+  Alcotest.(check int) "one published entry" 1 (Support.Pool.Memo.length m)
+
+let test_memo_failure_releases_key () =
+  let m : (string, int) Support.Pool.Memo.t = Support.Pool.Memo.create 4 in
+  let attempts = ref 0 in
+  let compute () =
+    incr attempts;
+    if !attempts = 1 then failwith "first try fails" else 7
+  in
+  Alcotest.check_raises "failure propagates" (Failure "first try fails")
+    (fun () -> ignore (Support.Pool.Memo.find_or_compute m "k" compute));
+  Alcotest.(check (option int)) "failed key not published" None
+    (Support.Pool.Memo.find_opt m "k");
+  Alcotest.(check int) "retry recomputes" 7
+    (Support.Pool.Memo.find_or_compute m "k" compute);
+  Alcotest.(check (option int)) "now published" (Some 7)
+    (Support.Pool.Memo.find_opt m "k")
+
+let test_memo_distinct_keys () =
+  let m : (int, int) Support.Pool.Memo.t = Support.Pool.Memo.create 16 in
+  let rs =
+    Support.Pool.map ~jobs:4
+      (fun i -> Support.Pool.Memo.find_or_compute m (i mod 5) (fun () -> i mod 5))
+      (List.init 40 Fun.id)
+  in
+  Alcotest.(check (list int)) "values match keys"
+    (List.init 40 (fun i -> i mod 5))
+    rs;
+  Alcotest.(check int) "five entries" 5 (Support.Pool.Memo.length m);
+  Support.Pool.Memo.clear m;
+  Alcotest.(check int) "cleared" 0 (Support.Pool.Memo.length m)
+
+let suite =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "map ordering" `Quick test_map_ordering;
+        Alcotest.test_case "run ordering" `Quick test_run_ordering;
+        Alcotest.test_case "uneven job costs" `Quick test_uneven_costs;
+        Alcotest.test_case "jobs=1 sequential fallback" `Quick test_jobs1_sequential;
+        Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+        Alcotest.test_case "exception (jobs=1)" `Quick test_exception_jobs1;
+        Alcotest.test_case "VSPEC_JOBS knob" `Quick test_default_jobs_env;
+      ] );
+    ( "pool-memo",
+      [
+        Alcotest.test_case "single flight" `Quick test_memo_single_flight;
+        Alcotest.test_case "failure releases key" `Quick test_memo_failure_releases_key;
+        Alcotest.test_case "distinct keys" `Quick test_memo_distinct_keys;
+      ] );
+  ]

@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the source of truth.
 
-.PHONY: all build test quick bench clean
+.PHONY: all build test quick bench bench-exec perf clean
 
 all: build
 
@@ -17,6 +17,15 @@ quick:
 # Full figure suite + timing report (BENCH_suite.json).
 bench:
 	dune exec bench/main.exe
+
+# Execution-engine micro-benchmarks only: insns/sec for the direct
+# interpreter vs the pre-decoded threaded-code engine (BENCH_exec.json).
+bench-exec:
+	dune exec bench/main.exe -- --exec
+
+# Determinism gate + exec micro-benchmarks (no report files written).
+perf:
+	dune build @perf
 
 clean:
 	dune clean

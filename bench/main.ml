@@ -96,7 +96,175 @@ let run_micro () =
     results;
   Support.Table.print t
 
+(* ------------------------------------------------------------------ *)
+(* Execution-engine micro-benchmarks (`--exec`, `make bench-exec`)     *)
+(*                                                                     *)
+(* Three synthetic code objects stress the three hot shapes of JIT     *)
+(* code — pure ALU dependency chains, load/store traffic, and          *)
+(* deopt-check sequences — and run them through both executors,        *)
+(* reporting simulated-instructions-per-second and the decoded/direct  *)
+(* speedup.  Results go to BENCH_exec.json.                            *)
+(* ------------------------------------------------------------------ *)
+
+let exec_iters = 2000
+
+let exec_codes () =
+  let mk ?(deopts = [||]) insns =
+    Code.assemble ~code_id:0 ~name:"xbench" ~arch:Arch.Arm64 ~deopts
+      ~gp_slots:4 ~fp_slots:4 ~base_addr:0x100 insns
+  in
+  let i k = Insn.make k in
+  let add ~dst ~src rhs =
+    i (Insn.Alu { op = Insn.Add; dst; src; rhs; set_flags = false })
+  in
+  let loop_tail =
+    [ add ~dst:0 ~src:0 (Insn.Imm 1);
+      i (Insn.Cmp (0, Insn.Imm exec_iters));
+      i (Insn.Bcond (Insn.Lt, 0));
+      i (Insn.Mov (0, Insn.Reg 2));
+      i Insn.Ret ]
+  in
+  let alu =
+    (* 12 ALU ops per iteration: a dependent accumulator chain
+       interleaved with independent work. *)
+    mk
+      ([ i (Insn.Mov (0, Insn.Imm 0));
+         i (Insn.Mov (2, Insn.Imm 0));
+         i (Insn.Mov (3, Insn.Imm 1));
+         i (Insn.Label 0) ]
+      @ List.concat
+          (List.init 4 (fun _ ->
+               [ add ~dst:2 ~src:2 (Insn.Reg 3);
+                 i (Insn.Alu { op = Insn.Eor; dst = 4; src = 2;
+                               rhs = Insn.Imm 21; set_flags = false });
+                 add ~dst:5 ~src:4 (Insn.Reg 3) ]))
+      @ loop_tail)
+  in
+  let loads =
+    (* Two loads + a store + address arithmetic per iteration over a
+       small working set (all L1 hits after warmup). *)
+    mk
+      ([ i (Insn.Mov (0, Insn.Imm 0));
+         i (Insn.Mov (1, Insn.Imm 16)) (* word 8 *);
+         i (Insn.Mov (2, Insn.Imm 0));
+         i (Insn.Label 0);
+         i (Insn.Ldr (3, Insn.mk_addr 1));
+         i (Insn.Ldr (4, Insn.mk_addr ~offset:2 1));
+         add ~dst:2 ~src:3 (Insn.Reg 4);
+         i (Insn.Str (Insn.mk_addr ~offset:4 1, 2));
+         i (Insn.Ldr (5, Insn.mk_addr ~offset:6 1)) ]
+      @ loop_tail)
+  in
+  let checks =
+    (* Four never-taken deopt checks per iteration, carrying Check
+       provenance so the per-group counter path is exercised. *)
+    let deopts =
+      [| { Code.dp_id = 0; reason = Insn.Not_a_smi; bc_pc = 0; frame = [||];
+           accumulator = Code.Fv_dead } |]
+    in
+    let cprov role =
+      Insn.Check { group = Insn.G_not_smi; role }
+    in
+    mk ~deopts
+      ([ i (Insn.Mov (0, Insn.Imm 0));
+         i (Insn.Mov (2, Insn.Imm 2)) (* even: Tst.Ne never fires *);
+         i (Insn.Mov (3, Insn.Imm 1));
+         i (Insn.Label 0) ]
+      @ List.concat
+          (List.init 4 (fun _ ->
+               [ Insn.make ~prov:(cprov Insn.Role_condition)
+                   (Insn.Tst (2, Insn.Imm 1));
+                 Insn.make ~prov:(cprov Insn.Role_branch)
+                   (Insn.Deopt_if (Insn.Ne, 0));
+                 add ~dst:2 ~src:2 (Insn.Imm 2) ]))
+      @ loop_tail)
+  in
+  [ ("alu", alu); ("loads", loads); ("checks", checks) ]
+
+let exec_reps () =
+  match Sys.getenv_opt "VSPEC_EXEC_REPS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 60)
+  | None -> 60
+
+let measure_exec run code =
+  let cpu = Cpu.create Cpu.fast_arm64 in
+  let host =
+    { Exec.memory = Array.make 64 0;
+      call_builtin = (fun _ _ -> 0);
+      call_js = (fun _ _ -> 0) }
+  in
+  let reps = exec_reps () in
+  (* Warmup: decode (if applicable), caches, predictor. *)
+  ignore (run cpu ~host ~code ~args:[||]);
+  let insns0 = cpu.Cpu.counters.Perf.jit_instructions in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (run cpu ~host ~code ~args:[||])
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let insns = cpu.Cpu.counters.Perf.jit_instructions - insns0 in
+  float_of_int insns /. (if dt > 0.0 then dt else 1e-9)
+
+let exec_report_path () =
+  match Sys.getenv_opt "VSPEC_EXEC_BENCH_OUT" with
+  | Some ("off" | "none" | "0") -> None
+  | Some "" | None -> Some "BENCH_exec.json"
+  | Some p -> Some p
+
+let run_exec_bench () =
+  Support.Table.section
+    "Execution-engine micro-benchmarks (simulated insns/sec)";
+  let rows =
+    List.map
+      (fun (name, code) ->
+        let direct = measure_exec Exec.run_direct code in
+        let decoded = measure_exec Decode.run code in
+        (name, direct, decoded, decoded /. direct))
+      (exec_codes ())
+  in
+  let t =
+    Support.Table.create ~title:"pre-decoded engine vs direct interpreter"
+      ~columns:[ "bench"; "direct Mi/s"; "decoded Mi/s"; "speedup" ]
+  in
+  List.iter
+    (fun (name, direct, decoded, speedup) ->
+      Support.Table.add_row t
+        [ name;
+          Printf.sprintf "%.1f" (direct /. 1e6);
+          Printf.sprintf "%.1f" (decoded /. 1e6);
+          Printf.sprintf "%.2fx" speedup ])
+    rows;
+  Support.Table.print t;
+  match exec_report_path () with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\n  \"reps\": %d,\n  \"iters\": %d,\n  \"benches\": [\n"
+         (exec_reps ()) exec_iters);
+    List.iteri
+      (fun idx (name, direct, decoded, speedup) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"bench\": %S, \"direct_insns_per_sec\": %.0f, \
+              \"decoded_insns_per_sec\": %.0f, \"speedup\": %.3f}%s\n"
+             name direct decoded speedup
+             (if idx = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    (try
+       let oc = open_out path in
+       Buffer.output_buffer oc buf;
+       close_out oc;
+       Printf.eprintf "[vspec] exec bench report -> %s\n%!" path
+     with Sys_error m ->
+       Printf.eprintf "[vspec] exec bench report not written: %s\n%!" m)
+
 let () =
+  if Array.exists (fun a -> a = "--exec") Sys.argv then begin
+    run_exec_bench ();
+    exit 0
+  end;
   print_endline
     "vspec reproduction harness: 'The Cost of Speculation' (IISWC 2021)";
   Printf.printf "iterations=%d repetitions=%d benchmarks=%d\n"
@@ -105,4 +273,7 @@ let () =
     (List.length (Experiments.Common.suite ()));
   Printf.eprintf "[vspec] jobs=%d\n%!" (Support.Pool.default_jobs ());
   Experiments.Registry.run_all ();
-  if Sys.getenv_opt "VSPEC_SKIP_MICRO" = None then run_micro ()
+  if Sys.getenv_opt "VSPEC_SKIP_MICRO" = None then begin
+    run_micro ();
+    run_exec_bench ()
+  end

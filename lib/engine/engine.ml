@@ -170,6 +170,9 @@ let compile t (f : Runtime.func_rt) =
         ~consts:(codegen_consts t) graph
     in
     t.next_base_addr <- base_addr + Array.length code.Code.insns + 64;
+    (* Pre-decode while we are already paying a compile pause, so the
+       first optimized execution runs straight from the micro-op array. *)
+    Exec.warm code;
     Hashtbl.replace t.codes_by_fid f.Runtime.info.Bytecode.fid code;
     Hashtbl.replace t.codes_by_id code_id code;
     Hashtbl.replace t.graphs_by_fid f.Runtime.info.Bytecode.fid graph;
@@ -195,6 +198,7 @@ let compile_baseline t (f : Runtime.func_rt) =
       let code_id = t.next_code_id in
       t.next_code_id <- code_id + 1;
       t.next_base_addr <- t.next_base_addr + Array.length code.Code.insns + 64;
+      Exec.warm code;
       Hashtbl.replace t.codes_by_fid fid code;
       Hashtbl.replace t.codes_by_id code_id code;
       Hashtbl.replace t.tiers fid `Baseline;

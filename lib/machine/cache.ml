@@ -1,6 +1,7 @@
 type t = {
   name : string;
   sets : int;
+  set_mask : int;        (* sets - 1 when sets is a power of two, else -1 *)
   assoc : int;
   line_shift : int;
   hit_latency : int;
@@ -21,6 +22,7 @@ let create ~name ~size_words ~assoc ~line_words ~hit_latency =
   {
     name;
     sets;
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
     assoc;
     line_shift = log2i line_words;
     hit_latency;
@@ -31,31 +33,56 @@ let create ~name ~size_words ~assoc ~line_words ~hit_latency =
     misses = 0;
   }
 
-let access t addr =
+(* Ways 4.. of a deep set (L2-style assoc > 4): cold continuation of
+   the unrolled probe in [access]. *)
+let rec find_way t base line i =
+  if i >= t.assoc then -1
+  else if Array.unsafe_get t.tags (base + i) = line then i
+  else find_way t base line (i + 1)
+
+(* Miss path: evict the LRU way.  Cold relative to the hit path. *)
+let miss_fill t base line =
+  t.misses <- t.misses + 1;
+  let victim = ref 0 in
+  for i = 1 to t.assoc - 1 do
+    if Array.unsafe_get t.lru (base + i)
+       < Array.unsafe_get t.lru (base + !victim)
+    then victim := i
+  done;
+  Array.unsafe_set t.tags (base + !victim) line;
+  Array.unsafe_set t.lru (base + !victim) t.clock;
+  false
+
+(* The hit path is loop-free (ways 0-3 unrolled, deeper sets defer to
+   [find_way]) so it inlines into the executors' issue paths even
+   under the classic (non-flambda) inliner, which refuses functions
+   containing loops.  [base + i < sets * assoc = Array.length tags] by
+   construction. *)
+let[@inline] access t addr =
   let line = addr lsr t.line_shift in
-  let set = line mod t.sets in
-  let base = set * t.assoc in
-  t.clock <- t.clock + 1;
-  let rec find i =
-    if i >= t.assoc then None
-    else if t.tags.(base + i) = line then Some i
-    else find (i + 1)
+  (* Power-of-two set counts (every shipped hierarchy) index with a
+     mask; the division only survives for odd custom geometries. *)
+  let set =
+    if t.set_mask >= 0 then line land t.set_mask else line mod t.sets
   in
-  match find 0 with
-  | Some i ->
+  let a = t.assoc in
+  let base = set * a in
+  t.clock <- t.clock + 1;
+  let tags = t.tags in
+  let i =
+    if Array.unsafe_get tags base = line then 0
+    else if a > 1 && Array.unsafe_get tags (base + 1) = line then 1
+    else if a > 2 && Array.unsafe_get tags (base + 2) = line then 2
+    else if a > 3 && Array.unsafe_get tags (base + 3) = line then 3
+    else if a > 4 then find_way t base line 4
+    else -1
+  in
+  if i >= 0 then begin
     t.hits <- t.hits + 1;
-    t.lru.(base + i) <- t.clock;
+    Array.unsafe_set t.lru (base + i) t.clock;
     true
-  | None ->
-    t.misses <- t.misses + 1;
-    (* Evict LRU way. *)
-    let victim = ref 0 in
-    for i = 1 to t.assoc - 1 do
-      if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
-    done;
-    t.tags.(base + !victim) <- line;
-    t.lru.(base + !victim) <- t.clock;
-    false
+  end
+  else miss_fill t base line
 
 let hit_latency t = t.hit_latency
 let hits t = t.hits
@@ -83,12 +110,12 @@ let small_hierarchy () =
     mem_latency = 110;
   }
 
-let data_latency h addr =
+let[@inline] data_latency h addr =
   if access h.l1d addr then h.l1d.hit_latency
   else if access h.l2 addr then h.l1d.hit_latency + h.l2.hit_latency
   else h.l1d.hit_latency + h.l2.hit_latency + h.mem_latency
 
-let inst_latency h addr =
+let[@inline] inst_latency h addr =
   if access h.l1i addr then 0
   else if access h.l2 addr then h.l2.hit_latency
   else h.l2.hit_latency + h.mem_latency

@@ -17,6 +17,13 @@ type deopt_point = {
   accumulator : frame_value;
 }
 
+(* Extension point for per-code-object caches.  The decoder hangs its
+   pre-decoded micro-op program here ([Decode.Decoded]); keying the
+   cache on the code object itself means a recompile (which always
+   allocates a fresh [t]) can never see a stale program. *)
+type cache = ..
+type cache += Not_decoded
+
 type t = {
   code_id : int;
   name : string;
@@ -27,6 +34,7 @@ type t = {
   gp_slots : int;
   fp_slots : int;
   base_addr : int;
+  mutable decode_cache : cache;
 }
 
 let assemble ~code_id ~name ~arch ~deopts ~gp_slots ~fp_slots ~base_addr insns =
@@ -54,7 +62,8 @@ let assemble ~code_id ~name ~arch ~deopts ~gp_slots ~fp_slots ~base_addr insns =
           invalid_arg (Printf.sprintf "Code.assemble(%s): unknown label L%d" name l)
       | _ -> ())
     insns;
-  { code_id; name; arch; insns; label_index; deopts; gp_slots; fp_slots; base_addr }
+  { code_id; name; arch; insns; label_index; deopts; gp_slots; fp_slots;
+    base_addr; decode_cache = Not_decoded }
 
 let real_instructions t =
   Array.fold_left

@@ -27,6 +27,13 @@ type deopt_point = {
   accumulator : frame_value;
 }
 
+type cache = ..
+(** Extension point for per-code-object caches ({!Decode} adds its
+    pre-decoded program as a constructor).  A recompile allocates a
+    fresh [t], so cached artifacts can never outlive their code. *)
+
+type cache += Not_decoded
+
 type t = {
   code_id : int;
   name : string;
@@ -37,6 +44,7 @@ type t = {
   gp_slots : int;              (** spill frame size, tagged words *)
   fp_slots : int;
   base_addr : int;             (** pseudo code address, word units *)
+  mutable decode_cache : cache;
 }
 
 val assemble :

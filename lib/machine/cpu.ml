@@ -121,19 +121,32 @@ let fast_for = function
   | Arch.X64 -> fast_x64
   | Arch.Arm64 | Arch.Arm64_smi_ext -> fast_arm64
 
+(* The hot timing scalars live in an all-float record: OCaml stores
+   such records flat (no per-field box), so the per-instruction
+   [now <- now +. _] updates are plain double stores instead of a
+   minor-heap allocation each.  The hot read-only config floats are
+   copied in so the issue paths read them with one load. *)
+type clock = {
+  mutable now : float;
+  mutable high : float;
+  mutable flags_ready : float;
+  inv_width : float;
+  rob_slack : float;
+  mispredict_penalty : float;
+  taken_bubble : float;
+  clk_lat_alu : float;
+}
+
 type t = {
   cfg : config;
   hier : Cache.hierarchy;
   bp : Predictor.t;
-  mutable now : float;
-  mutable high : float;
+  clk : clock;
   reg_ready : float array;
   freg_ready : float array;
-  mutable flags_ready : float;
   mutable last_iline : int;
   counters : Perf.counters;
   sampler : Perf.sampler option;
-  inv_width : float;
   mutable cur_code : int;   (* attribution target for the PC sampler *)
   mutable cur_pc : int;
 }
@@ -145,29 +158,36 @@ let create ?sampler cfg =
       (if cfg.small_caches then Cache.small_hierarchy ()
        else Cache.default_hierarchy ());
     bp = Predictor.create ();
-    now = 0.0;
-    high = 0.0;
+    clk =
+      {
+        now = 0.0;
+        high = 0.0;
+        flags_ready = 0.0;
+        inv_width = 1.0 /. float_of_int cfg.width;
+        rob_slack = cfg.rob_slack;
+        mispredict_penalty = cfg.mispredict_penalty;
+        taken_bubble = cfg.taken_bubble;
+        clk_lat_alu = cfg.lat_alu;
+      };
     reg_ready = Array.make (Insn.num_gp_regs + 3) 0.0;
     freg_ready = Array.make Insn.num_fp_regs 0.0;
-    flags_ready = 0.0;
     last_iline = -1;
     counters = Perf.create_counters ();
     sampler;
-    inv_width = 1.0 /. float_of_int cfg.width;
     cur_code = Perf.runtime_code_id;
     cur_pc = 0;
   }
 
 let reset t =
-  t.now <- 0.0;
-  t.high <- 0.0;
+  t.clk.now <- 0.0;
+  t.clk.high <- 0.0;
   Array.fill t.reg_ready 0 (Array.length t.reg_ready) 0.0;
   Array.fill t.freg_ready 0 (Array.length t.freg_ready) 0.0;
-  t.flags_ready <- 0.0;
+  t.clk.flags_ready <- 0.0;
   t.last_iline <- -1;
   Perf.reset_counters t.counters
 
-let cycles t = t.high
+let cycles t = t.clk.high
 
 let latency cfg = function
   | C_alu -> cfg.lat_alu
@@ -187,36 +207,42 @@ let sample t ~code_id ~pc =
   t.cur_code <- code_id;
   t.cur_pc <- pc
 
-let fetch t ~addr =
-  let line = addr lsr 4 in
+(* [fetch_line] lets callers that know the fetch line statically (the
+   pre-decoded executor precomputes [addr lsr 4] per micro-op) skip the
+   shift; [fetch] is the general entry point. *)
+let[@inline] fetch_line t ~addr ~line =
   if line <> t.last_iline then begin
     t.last_iline <- line;
     let lat = Cache.inst_latency t.hier addr in
     if lat > 0 then begin
       let lat = float_of_int lat in
-      t.now <- t.now +. lat;
+      t.clk.now <- t.clk.now +. lat;
       t.counters.frontend_stall <- t.counters.frontend_stall +. lat
     end
   end
 
+let fetch t ~addr = fetch_line t ~addr ~line:(addr lsr 4)
+
 (* Core dispatch/start logic shared by every issue variant.  Returns the
-   start time of execution. *)
-let dispatch t ~ready =
-  let d = t.now in
-  t.now <- t.now +. t.inv_width;
+   start time of execution.  Inlined into the pre-decoded executor's
+   micro-ops as well as the issue variants below. *)
+let[@inline] dispatch t ~ready =
+  let c = t.clk in
+  let d = c.now in
+  c.now <- d +. c.inv_width;
   let start = if ready > d then ready else d in
   if t.cfg.inorder then begin
-    if start > t.now then begin
-      t.counters.backend_stall <- t.counters.backend_stall +. (start -. t.now);
-      t.now <- start
+    if start > c.now then begin
+      t.counters.backend_stall <- t.counters.backend_stall +. (start -. c.now);
+      c.now <- start
     end
   end
   else begin
-    let slack = t.cfg.rob_slack in
+    let slack = c.rob_slack in
     if start -. d > slack then begin
       let push = start -. d -. slack in
       t.counters.backend_stall <- t.counters.backend_stall +. push;
-      t.now <- t.now +. push
+      c.now <- c.now +. push
     end
   end;
   t.counters.instructions <- t.counters.instructions + 1;
@@ -227,9 +253,9 @@ let dispatch t ~ready =
    each instruction's retirement window, so long-latency instructions
    (e.g. cache-miss loads) absorb proportionally many samples — the
    behavior of interrupt-driven PC sampling the paper relies on. *)
-let finish t complete =
-  let retire = if complete > t.high then complete else t.high in
-  t.high <- retire;
+let[@inline] finish t complete =
+  let retire = if complete > t.clk.high then complete else t.clk.high in
+  t.clk.high <- retire;
   (match t.sampler with
   | None -> ()
   | Some s -> Perf.sampler_tick s ~now:retire ~code_id:t.cur_code ~pc:t.cur_pc);
@@ -259,25 +285,26 @@ let issue_branch t ~pc ~ready ~taken =
   let correct = Predictor.predict_and_update t.bp ~pc ~taken in
   if not correct then begin
     t.counters.mispredicts <- t.counters.mispredicts + 1;
-    let resume = complete +. t.cfg.mispredict_penalty in
-    if resume > t.now then begin
-      t.counters.frontend_stall <- t.counters.frontend_stall +. (resume -. t.now);
-      t.now <- resume
+    let resume = complete +. t.clk.mispredict_penalty in
+    if resume > t.clk.now then begin
+      t.counters.frontend_stall <-
+        t.counters.frontend_stall +. (resume -. t.clk.now);
+      t.clk.now <- resume
     end
   end
   else if taken then begin
-    t.now <- t.now +. t.cfg.taken_bubble;
-    t.counters.frontend_stall <- t.counters.frontend_stall +. t.cfg.taken_bubble
+    t.clk.now <- t.clk.now +. t.clk.taken_bubble;
+    t.counters.frontend_stall <- t.counters.frontend_stall +. t.clk.taken_bubble
   end;
   finish t complete
 
 let charge t ~cycles ~instructions ~code_id =
-  let from = t.now in
-  t.now <- t.now +. cycles;
-  if t.now > t.high then t.high <- t.now;
+  let from = t.clk.now in
+  t.clk.now <- t.clk.now +. cycles;
+  if t.clk.now > t.clk.high then t.clk.high <- t.clk.now;
   t.counters.instructions <- t.counters.instructions + instructions;
   t.counters.runtime_instructions <-
     t.counters.runtime_instructions + instructions;
   match t.sampler with
   | None -> ()
-  | Some s -> Perf.sampler_bulk s ~from ~until:t.now ~code_id
+  | Some s -> Perf.sampler_bulk s ~from ~until:t.clk.now ~code_id

@@ -67,19 +67,32 @@ val fast_for : Arch.t -> config
 
 (** {1 Timing state} *)
 
+(** Hot timing scalars, kept in an all-float record so they are stored
+    flat: mutating [now]/[high]/[flags_ready] is a plain double store
+    with no boxing — these fields are written for every simulated
+    instruction.  The trailing fields are copies of the hot [config]
+    floats, readable with a single load in the issue paths. *)
+type clock = {
+  mutable now : float;          (** dispatch pointer, cycles *)
+  mutable high : float;         (** max completion time = elapsed cycles *)
+  mutable flags_ready : float;
+  inv_width : float;
+  rob_slack : float;
+  mispredict_penalty : float;
+  taken_bubble : float;
+  clk_lat_alu : float;
+}
+
 type t = {
   cfg : config;
   hier : Cache.hierarchy;
   bp : Predictor.t;
-  mutable now : float;          (** dispatch pointer, cycles *)
-  mutable high : float;         (** max completion time = elapsed cycles *)
+  clk : clock;
   reg_ready : float array;      (** GP regs + specials *)
   freg_ready : float array;
-  mutable flags_ready : float;
   mutable last_iline : int;
   counters : Perf.counters;
   sampler : Perf.sampler option;
-  inv_width : float;
   mutable cur_code : int;   (** attribution target for the PC sampler *)
   mutable cur_pc : int;
 }
@@ -95,9 +108,23 @@ val cycles : t -> float
 val fetch : t -> addr:int -> unit
 (** Instruction-cache charge when the fetch line changes. *)
 
+val fetch_line : t -> addr:int -> line:int -> unit
+(** [fetch] with the fetch line ([addr lsr 4]) precomputed by the
+    caller; behavior is identical. *)
+
 val issue : t -> cls:insn_class -> ready:float -> float
 (** Dispatch + execute one instruction whose operands are ready at
     [ready]; returns its completion time.  Counts it as retired. *)
+
+val dispatch : t -> ready:float -> float
+(** The dispatch/start half of {!issue}: advance the dispatch pointer,
+    charge backend stalls, count the instruction as retired; returns the
+    execution start time.  Exposed (inlined) so the pre-decoded executor
+    can fuse it with a latency resolved at decode time. *)
+
+val finish : t -> float -> float
+(** The completion half of {!issue}: in-order retirement bookkeeping and
+    PC-sampler ticks; returns its argument. *)
 
 val issue_load : t -> ready:float -> addr:int -> float
 val issue_store : t -> ready:float -> addr:int -> float

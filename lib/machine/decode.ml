@@ -1,0 +1,1003 @@
+(* Pre-decoded threaded-code execution engine.
+
+   [compile] lowers a [Code.t] once into a flat array of micro-op
+   closures: operand indexes, effective-address components, latency
+   classes, check provenance, branch targets, fetch addresses and
+   cache-line numbers are all resolved at decode time, so the dispatch
+   loop is a single indirect call per retired instruction instead of
+   the direct interpreter's per-instruction [match] over [Insn.kind].
+   Pseudo-instructions (labels, checkpoints) are compiled away and
+   branch targets are remapped onto the compacted micro-op array.
+
+   The program is cached on the code object itself
+   ([Code.decode_cache]); recompilation allocates a fresh [Code.t], so
+   stale programs are unreachable by construction, and the cache needs
+   no cross-domain coordination because a code object belongs to
+   exactly one engine (and thus one domain).
+
+   Bit-identity contract: for any program and CPU model, this engine
+   must produce exactly the same outcome, memory, timing state and
+   counters as [Exec.run_direct] — it performs the same [Cpu] calls in
+   the same order with the same operands.  The determinism tests
+   assert digest equality of whole experiment results between the two
+   engines. *)
+
+type host = {
+  memory : int array;
+  call_builtin : int -> int array -> int;
+  call_js : int -> int array -> int;
+}
+
+type snapshot = {
+  s_regs : int array;
+  s_fregs : float array;
+  s_slots : int array;
+  s_fslots : float array;
+}
+
+type outcome =
+  | Done of int
+  | Deopt of {
+      deopt_id : int;
+      reason : Insn.deopt_reason;
+      snapshot : snapshot;
+      via_smi_ext : bool;
+    }
+
+exception Machine_fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Machine_fault s)) fmt
+
+(* Special register indexes inside the GP register file. *)
+let reg_ba = Insn.num_gp_regs
+let reg_pc = Insn.num_gp_regs + 1
+let reg_re = Insn.num_gp_regs + 2
+
+let sext32 x =
+  let w = x land 0xFFFFFFFF in
+  if w >= 0x80000000 then w - 0x100000000 else w
+
+(* Deopt reason encoding written to REG_RE by the SMI-extension bailout
+   path (paper: an 8-bit deoptimization-reason code). *)
+let reason_code = function
+  | Insn.Not_a_smi -> 1
+  | Insn.Smi -> 2
+  | Insn.Out_of_bounds -> 3
+  | Insn.Wrong_map -> 4
+  | Insn.Overflow -> 5
+  | Insn.Lost_precision -> 6
+  | Insn.Division_by_zero -> 7
+  | Insn.Minus_zero -> 8
+  | Insn.Not_a_number -> 9
+  | Insn.Wrong_value -> 10
+  | Insn.Hole -> 11
+  | Insn.Insufficient_feedback -> 12
+
+(* Mutable machine state of one activation.  Flags live inline (the
+   direct engine allocates a flags record per run); register-ready
+   arrays alias the CPU's own. *)
+type st = {
+  cpu : Cpu.t;
+  clk : Cpu.clock; (* = cpu.clk, cached to save an indirection *)
+  inorder : bool; (* = cpu.cfg.inorder *)
+  sampler : Perf.sampler option; (* = cpu.sampler *)
+  counters : Perf.counters;
+  regs : int array;
+  fregs : float array;
+  slots : int array;
+  fslots : float array;
+  rr : float array;
+  fr : float array;
+  mem : int array;
+  host : host;
+  mutable scratch : int array array;
+      (* per-argc call-argument buffers, allocated on first Call *)
+  mutable fz : bool;
+  mutable fn : bool;
+  mutable fv : bool;
+  mutable fc : bool;
+  mutable funord : bool;
+  mutable outcome : outcome;
+}
+
+(* A micro-op executes one retired instruction and returns the index of
+   the next micro-op, or -1 after setting [st.outcome]. *)
+type uop = st -> int
+
+(* The compiled form: one closure per non-pseudo instruction plus flat
+   side arrays of decode-time constants consumed by the dispatch loop's
+   shared prologue (fetch address, instruction-cache line, original
+   instruction index for sampler attribution, packed check-provenance
+   descriptor). *)
+type program = {
+  p_name : string;
+  p_code_id : int;
+  p_uops : uop array;
+      (* [length = micro-ops + 1]: the last slot is a sentinel that
+         faults on falling off the code end, so the dispatch loop needs
+         no per-instruction bounds check (every next-index is in range
+         by construction). *)
+  p_addrs : int array;
+  p_pcs : int array;
+  p_checks : int array;
+      (* 0 = not a check; else (group_index + 1) lor (16 if deopt branch) *)
+}
+
+type Code.cache += Decoded of program
+
+(* Ready times are completion timestamps: always finite, never NaN and
+   never negative, so a branchy max is exactly [Float.max] without the
+   boxing of a non-inlined float call. *)
+let[@inline] fmax (a : float) (b : float) = if a >= b then a else b
+
+(* Register-file accesses in the hot micro-ops: every register index is
+   range-checked once at decode time ([compile]'s [vreg]/[vfreg]), so
+   the per-execution bounds checks are dropped. *)
+let[@inline] rget st r = Array.unsafe_get st.regs r
+let[@inline] rset st r (v : int) = Array.unsafe_set st.regs r v
+let[@inline] tget st r : float = Array.unsafe_get st.rr r
+let[@inline] tset st r (v : float) = Array.unsafe_set st.rr r v
+
+(* Inlined issue paths: [Cpu.dispatch]/[Cpu.finish] re-expressed over
+   the state cached in [st] (clock, counters, in-order bit, sampler)
+   and fused with the latency class resolved at decode time, so the
+   hot micro-ops pay no [Cpu.issue] call chain, no per-instruction
+   latency lookup and no re-derivation through [Cpu.t].  Same
+   arithmetic in the same order as [Cpu.issue]* — bit-identical timing
+   and counters (enforced by the exec-determinism suite). *)
+let[@inline] disp st ~ready =
+  let c = st.clk in
+  let d = c.Cpu.now in
+  c.Cpu.now <- d +. c.Cpu.inv_width;
+  let start = if ready > d then ready else d in
+  if st.inorder then begin
+    if start > c.Cpu.now then begin
+      let cnt = st.counters in
+      cnt.Perf.backend_stall <- cnt.Perf.backend_stall +. (start -. c.Cpu.now);
+      c.Cpu.now <- start
+    end
+  end
+  else begin
+    let slack = c.Cpu.rob_slack in
+    if start -. d > slack then begin
+      let push = start -. d -. slack in
+      let cnt = st.counters in
+      cnt.Perf.backend_stall <- cnt.Perf.backend_stall +. push;
+      c.Cpu.now <- c.Cpu.now +. push
+    end
+  end;
+  let cnt = st.counters in
+  cnt.Perf.instructions <- cnt.Perf.instructions + 1;
+  start
+
+let[@inline] fin st complete =
+  let c = st.clk in
+  let retire = if complete > c.Cpu.high then complete else c.Cpu.high in
+  c.Cpu.high <- retire;
+  (match st.sampler with
+  | None -> ()
+  | Some s ->
+    Perf.sampler_tick s ~now:retire ~code_id:st.cpu.Cpu.cur_code
+      ~pc:st.cpu.Cpu.cur_pc);
+  complete
+
+let[@inline] issue_alu st ~ready =
+  let start = disp st ~ready in
+  fin st (start +. st.clk.Cpu.clk_lat_alu)
+
+let[@inline] issue_load st ~ready ~addr =
+  let start = disp st ~ready in
+  st.counters.Perf.loads <- st.counters.Perf.loads + 1;
+  let lat = float_of_int (Cache.data_latency st.cpu.Cpu.hier addr) in
+  fin st (start +. lat)
+
+let[@inline] issue_store st ~ready ~addr =
+  let start = disp st ~ready in
+  st.counters.Perf.stores <- st.counters.Perf.stores + 1;
+  ignore (Cache.access st.cpu.Cpu.hier.Cache.l1d addr);
+  fin st (start +. 1.0)
+
+let[@inline] issue_branch st ~pc ~ready ~taken =
+  let cpu = st.cpu in
+  let start = disp st ~ready in
+  let complete = start +. 1.0 in
+  let c = st.counters in
+  c.Perf.branches <- c.Perf.branches + 1;
+  if taken then c.Perf.taken_branches <- c.Perf.taken_branches + 1;
+  let correct = Predictor.predict_and_update cpu.Cpu.bp ~pc ~taken in
+  let clk = st.clk in
+  if not correct then begin
+    c.Perf.mispredicts <- c.Perf.mispredicts + 1;
+    let resume = complete +. clk.Cpu.mispredict_penalty in
+    if resume > clk.Cpu.now then begin
+      c.Perf.frontend_stall <-
+        c.Perf.frontend_stall +. (resume -. clk.Cpu.now);
+      clk.Cpu.now <- resume
+    end
+  end
+  else if taken then begin
+    let bubble = clk.Cpu.taken_bubble in
+    clk.Cpu.now <- clk.Cpu.now +. bubble;
+    c.Perf.frontend_stall <- c.Perf.frontend_stall +. bubble
+  end;
+  ignore (fin st complete)
+
+let[@inline] mem_index st name a =
+  if a land 1 <> 0 then fault "%s: unaligned address %d" name a;
+  let i = a asr 1 in
+  if i < 0 || i >= Array.length st.mem then
+    fault "%s: address %d out of range" name a;
+  i
+
+(* Second word of a two-word (float) access; [i0] has been checked. *)
+let[@inline] mem_index2 st name a i0 =
+  if i0 + 1 >= Array.length st.mem then
+    fault "%s: address %d out of range" name (a + 2);
+  i0 + 1
+
+let[@inline] set_add_sub_flags st a b result is_sub =
+  let r32 = sext32 result in
+  st.fz <- r32 = 0;
+  st.fn <- r32 < 0;
+  st.funord <- false;
+  (* Signed overflow of 32-bit add/sub. *)
+  if is_sub then begin
+    st.fv <- (a >= 0 && b < 0 && r32 < 0) || (a < 0 && b >= 0 && r32 >= 0);
+    st.fc <- a land 0xFFFFFFFF >= b land 0xFFFFFFFF
+  end
+  else begin
+    st.fv <- (a >= 0 && b >= 0 && r32 < 0) || (a < 0 && b < 0 && r32 >= 0);
+    st.fc <- (a land 0xFFFFFFFF) + (b land 0xFFFFFFFF) > 0xFFFFFFFF
+  end
+
+let[@inline] set_logic_flags st raw =
+  let r32 = sext32 raw in
+  st.fz <- r32 = 0;
+  st.fn <- r32 < 0;
+  st.fv <- false;
+  st.funord <- false
+
+(* Decode-time specialization of the direct engine's [eval_cond]: one
+   closure per static condition code, with the unordered-compare rule
+   folded in (NaN compares satisfy only Ne and Vs). *)
+let cond_fn c : st -> bool =
+  match c with
+  | Insn.Eq -> fun st -> (not st.funord) && st.fz
+  | Insn.Ne -> fun st -> st.funord || not st.fz
+  | Insn.Lt -> fun st -> (not st.funord) && st.fn <> st.fv
+  | Insn.Ge -> fun st -> (not st.funord) && st.fn = st.fv
+  | Insn.Le -> fun st -> (not st.funord) && (st.fz || st.fn <> st.fv)
+  | Insn.Gt -> fun st -> (not st.funord) && (not st.fz) && st.fn = st.fv
+  | Insn.Vs -> fun st -> st.funord || st.fv
+  | Insn.Vc -> fun st -> (not st.funord) && not st.fv
+  | Insn.Hs -> fun st -> (not st.funord) && st.fc
+  | Insn.Lo -> fun st -> (not st.funord) && not st.fc
+
+let take_snapshot st =
+  {
+    s_regs = Array.copy st.regs;
+    s_fregs = Array.copy st.fregs;
+    s_slots = Array.copy st.slots;
+    s_fslots = Array.copy st.fslots;
+  }
+
+let[@inline] scratch_buf st argc =
+  if Array.length st.scratch = 0 then
+    st.scratch <- Array.make (Insn.num_gp_regs + 4) [||];
+  let b = st.scratch.(argc) in
+  if Array.length b = argc then b
+  else begin
+    let b = Array.make argc 0 in
+    st.scratch.(argc) <- b;
+    b
+  end
+
+let alu_raw op a b =
+  match op with
+  | Insn.Add -> a + b
+  | Insn.Sub -> a - b
+  | Insn.Mul -> a * b
+  | Insn.Sdiv -> if b = 0 then 0 else a / b
+  | Insn.Smod -> if b = 0 then 0 else a mod b
+  | Insn.And -> a land b
+  | Insn.Orr -> a lor b
+  | Insn.Eor -> a lxor b
+  | Insn.Lsl -> a lsl (b land 31)
+  | Insn.Lsr -> (a land 0xFFFFFFFF) lsr (b land 31)
+  | Insn.Asr -> a asr (b land 31)
+
+let set_alu_flags st op a b raw =
+  match op with
+  | Insn.Add -> set_add_sub_flags st a b raw false
+  | Insn.Sub -> set_add_sub_flags st a b raw true
+  | Insn.Mul ->
+    (* smulls-style: overflow when the 64-bit product does not fit in
+       32 bits. *)
+    let r32 = sext32 raw in
+    st.fz <- r32 = 0;
+    st.fn <- r32 < 0;
+    st.fv <- raw <> r32;
+    st.funord <- false
+  | Insn.Sdiv | Insn.Smod | Insn.And | Insn.Orr | Insn.Eor | Insn.Lsl
+  | Insn.Lsr | Insn.Asr ->
+    set_logic_flags st raw
+
+(* ------------------------------------------------------------------ *)
+(* Decode                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compile (code : Code.t) : program =
+  let insns = code.Code.insns in
+  let n = Array.length insns in
+  let name = code.Code.name in
+  let base = code.Code.base_addr in
+  let code_id = code.Code.code_id in
+  let deopts = code.Code.deopts in
+  (* Pseudo-instructions are compiled away: map every instruction index
+     to its micro-op index (for branch-target remapping). *)
+  let uop_of_insn = Array.make (n + 1) 0 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    uop_of_insn.(i) <- !count;
+    if not (Insn.is_pseudo insns.(i).Insn.kind) then incr count
+  done;
+  uop_of_insn.(n) <- !count;
+  let target l = uop_of_insn.(code.Code.label_index.(l)) in
+
+  (* Operand validation, once per instruction at decode time: the
+     micro-op bodies then use unchecked register-file accesses.  The
+     direct interpreter would raise [Invalid_argument] on the first
+     execution of such an instruction; rejecting it at decode keeps
+     malformed code from executing unchecked. *)
+  let n_gp = Insn.num_gp_regs + 3 in
+  let vreg r =
+    if r < 0 || r >= n_gp then fault "%s: bad register r%d" name r;
+    r
+  in
+  let vfreg r =
+    if r < 0 || r >= Insn.num_fp_regs then
+      fault "%s: bad fp register f%d" name r;
+    r
+  in
+
+  (* Effective-address and address-ready evaluation, specialized at
+     decode time on the presence of an index register. *)
+  let eff (a : Insn.addr) =
+    let b = vreg a.Insn.base and off = a.Insn.offset in
+    match a.Insn.index with
+    | None -> fun st -> rget st b + off
+    | Some ix ->
+      let ix = vreg ix in
+      let s = a.Insn.scale in
+      fun st -> rget st b + (rget st ix * s) + off
+  in
+  let aready (a : Insn.addr) =
+    let b = vreg a.Insn.base in
+    match a.Insn.index with
+    | None -> fun st -> tget st b
+    | Some ix ->
+      let ix = vreg ix in
+      fun st -> fmax (tget st b) (tget st ix)
+  in
+
+  (* The body of one micro-op: the instruction's semantics with every
+     operand pre-resolved.  [u] is this micro-op's own index; straight-
+     line successors return [u + 1]. *)
+  let body i u (k : Insn.kind) : uop =
+    let next = u + 1 in
+    let bpc = base + i in
+    match k with
+    | Insn.Label _ | Insn.Checkpoint _ ->
+      assert false (* pseudo: never emitted *)
+    | Insn.Nop -> fun _ -> next
+    | Insn.Mov (d, Insn.Reg r) ->
+      let d = vreg d and r = vreg r in
+      fun st ->
+        let t = issue_alu st ~ready:(tget st r) in
+        rset st d (rget st r);
+        tset st d t;
+        next
+    | Insn.Mov (d, Insn.Imm v) ->
+      let d = vreg d in
+      fun st ->
+        let t = issue_alu st ~ready:0.0 in
+        rset st d v;
+        tset st d t;
+        next
+    | Insn.Ldr (d, a) -> (
+      (* Specialized on addressing mode so the hot base+offset form
+         pays no effective-address closure calls. *)
+      let d = vreg d in
+      match a.Insn.index with
+      | None ->
+        let b = vreg a.Insn.base and off = a.Insn.offset in
+        fun st ->
+          let ea = rget st b + off in
+          let t = issue_load st ~ready:(tget st b) ~addr:ea in
+          rset st d (Array.unsafe_get st.mem (mem_index st name ea));
+          tset st d t;
+          next
+      | Some _ ->
+        let ea = eff a and rdy = aready a in
+        fun st ->
+          let ea = ea st in
+          let t = issue_load st ~ready:(rdy st) ~addr:ea in
+          rset st d (Array.unsafe_get st.mem (mem_index st name ea));
+          tset st d t;
+          next)
+    | Insn.Str (a, s) -> (
+      let s = vreg s in
+      match a.Insn.index with
+      | None ->
+        let b = vreg a.Insn.base and off = a.Insn.offset in
+        fun st ->
+          let ea = rget st b + off in
+          let ready = fmax (tget st b) (tget st s) in
+          ignore (issue_store st ~ready ~addr:ea);
+          Array.unsafe_set st.mem (mem_index st name ea) (rget st s);
+          next
+      | Some _ ->
+        let ea = eff a and rdy = aready a in
+        fun st ->
+          let ea = ea st in
+          let ready = fmax (rdy st) (tget st s) in
+          ignore (issue_store st ~ready ~addr:ea);
+          Array.unsafe_set st.mem (mem_index st name ea) (rget st s);
+          next)
+    | Insn.Ldr_f (d, a) ->
+      let d = vfreg d in
+      let ea = eff a and rdy = aready a in
+      fun st ->
+        let ea = ea st in
+        let t = issue_load st ~ready:(rdy st) ~addr:ea in
+        let i0 = mem_index st name ea in
+        let i1 = mem_index2 st name ea i0 in
+        let lo = Int64.of_int (st.mem.(i0) land 0xFFFFFFFF) in
+        let hi = Int64.of_int (st.mem.(i1) land 0xFFFFFFFF) in
+        st.fregs.(d) <-
+          Int64.float_of_bits (Int64.logor lo (Int64.shift_left hi 32));
+        st.fr.(d) <- t;
+        next
+    | Insn.Str_f (a, s) ->
+      let s = vfreg s in
+      let ea = eff a and rdy = aready a in
+      fun st ->
+        let ea = ea st in
+        let ready = fmax (rdy st) st.fr.(s) in
+        ignore (issue_store st ~ready ~addr:ea);
+        let bits = Int64.bits_of_float st.fregs.(s) in
+        let i0 = mem_index st name ea in
+        let i1 = mem_index2 st name ea i0 in
+        st.mem.(i0) <- Int64.to_int (Int64.logand bits 0xFFFFFFFFL);
+        st.mem.(i1) <- Int64.to_int (Int64.shift_right_logical bits 32);
+        next
+    | Insn.Alu { op; dst; src; rhs; set_flags } -> (
+      let cls =
+        match op with
+        | Insn.Mul -> Cpu.C_mul
+        | Insn.Sdiv | Insn.Smod -> Cpu.C_div
+        | _ -> Cpu.C_alu
+      in
+      (* Specialize the dominant flag-free add/sub forms; everything
+         else shares a generic body with the operator pre-captured. *)
+      let dst = vreg dst and src = vreg src in
+      match (op, rhs, set_flags) with
+      | Insn.Add, Insn.Imm v, false ->
+        fun st ->
+          let a = rget st src in
+          let t = issue_alu st ~ready:(tget st src) in
+          rset st dst (sext32 (a + v));
+          tset st dst t;
+          next
+      | Insn.Add, Insn.Reg r, false ->
+        let r = vreg r in
+        fun st ->
+          let a = rget st src and b = rget st r in
+          let t = issue_alu st ~ready:(fmax (tget st src) (tget st r)) in
+          rset st dst (sext32 (a + b));
+          tset st dst t;
+          next
+      | Insn.Sub, Insn.Imm v, false ->
+        fun st ->
+          let a = rget st src in
+          let t = issue_alu st ~ready:(tget st src) in
+          rset st dst (sext32 (a - v));
+          tset st dst t;
+          next
+      | Insn.Sub, Insn.Reg r, false ->
+        let r = vreg r in
+        fun st ->
+          let a = rget st src and b = rget st r in
+          let t = issue_alu st ~ready:(fmax (tget st src) (tget st r)) in
+          rset st dst (sext32 (a - b));
+          tset st dst t;
+          next
+      | _, Insn.Imm v, false when cls = Cpu.C_alu ->
+        fun st ->
+          let a = rget st src in
+          let t = issue_alu st ~ready:(tget st src) in
+          rset st dst (sext32 (alu_raw op a v));
+          tset st dst t;
+          next
+      | _, Insn.Reg r, false when cls = Cpu.C_alu ->
+        let r = vreg r in
+        fun st ->
+          let a = rget st src and b = rget st r in
+          let t = issue_alu st ~ready:(fmax (tget st src) (tget st r)) in
+          rset st dst (sext32 (alu_raw op a b));
+          tset st dst t;
+          next
+      | _, Insn.Imm v, _ ->
+        fun st ->
+          let a = st.regs.(src) in
+          let t = Cpu.issue st.cpu ~cls ~ready:st.rr.(src) in
+          let raw = alu_raw op a v in
+          if set_flags then set_alu_flags st op a v raw;
+          st.regs.(dst) <- sext32 raw;
+          st.rr.(dst) <- t;
+          if set_flags then st.clk.Cpu.flags_ready <- t;
+          next
+      | _, Insn.Reg r, _ ->
+        fun st ->
+          let a = st.regs.(src) and b = st.regs.(r) in
+          let t = Cpu.issue st.cpu ~cls ~ready:(fmax st.rr.(src) st.rr.(r)) in
+          let raw = alu_raw op a b in
+          if set_flags then set_alu_flags st op a b raw;
+          st.regs.(dst) <- sext32 raw;
+          st.rr.(dst) <- t;
+          if set_flags then st.clk.Cpu.flags_ready <- t;
+          next)
+    | Insn.Alu_mem { op; dst; src; mem = a } ->
+      let ea = eff a and rdy = aready a in
+      fun st ->
+        let ea = ea st in
+        let ready = fmax st.rr.(src) (rdy st) in
+        let t = Cpu.issue_load st.cpu ~ready ~addr:ea in
+        let b = st.mem.(mem_index st name ea) in
+        let av = st.regs.(src) in
+        let raw =
+          match op with
+          | Insn.Add -> av + b
+          | Insn.Sub -> av - b
+          | Insn.And -> av land b
+          | Insn.Orr -> av lor b
+          | Insn.Eor -> av lxor b
+          | Insn.Mul -> av * b
+          | Insn.Sdiv -> if b = 0 then 0 else av / b
+          | Insn.Smod -> if b = 0 then 0 else av mod b
+          | Insn.Lsl | Insn.Lsr | Insn.Asr ->
+            fault "%s: shift with memory operand" name
+        in
+        st.regs.(dst) <- sext32 raw;
+        st.rr.(dst) <- t +. 1.0;
+        next
+    | Insn.Cmp (a, Insn.Imm v) ->
+      let a = vreg a in
+      fun st ->
+        let av = rget st a in
+        let t = issue_alu st ~ready:(tget st a) in
+        set_add_sub_flags st av v (av - v) true;
+        st.clk.Cpu.flags_ready <- t;
+        next
+    | Insn.Cmp (a, Insn.Reg r) ->
+      let a = vreg a and r = vreg r in
+      fun st ->
+        let av = rget st a and bv = rget st r in
+        let t = issue_alu st ~ready:(fmax (tget st a) (tget st r)) in
+        set_add_sub_flags st av bv (av - bv) true;
+        st.clk.Cpu.flags_ready <- t;
+        next
+    | Insn.Cmp_mem (a, m) ->
+      let ea = eff m and rdy = aready m in
+      fun st ->
+        let eav = ea st in
+        let ready = fmax st.rr.(a) (rdy st) in
+        let t = Cpu.issue_load st.cpu ~ready ~addr:eav in
+        let bv = st.mem.(mem_index st name eav) in
+        let av = st.regs.(a) in
+        set_add_sub_flags st av bv (av - bv) true;
+        st.clk.Cpu.flags_ready <- t +. 1.0;
+        next
+    | Insn.Tst (a, Insn.Imm v) ->
+      let a = vreg a in
+      fun st ->
+        let av = rget st a in
+        let t = issue_alu st ~ready:(tget st a) in
+        set_logic_flags st (av land v);
+        st.clk.Cpu.flags_ready <- t;
+        next
+    | Insn.Tst (a, Insn.Reg r) ->
+      let a = vreg a and r = vreg r in
+      fun st ->
+        let av = rget st a and bv = rget st r in
+        let t = issue_alu st ~ready:(fmax (tget st a) (tget st r)) in
+        set_logic_flags st (av land bv);
+        st.clk.Cpu.flags_ready <- t;
+        next
+    | Insn.Fmov (d, s) ->
+      fun st ->
+        let t = Cpu.issue st.cpu ~cls:Cpu.C_falu ~ready:st.fr.(s) in
+        st.fregs.(d) <- st.fregs.(s);
+        st.fr.(d) <- t;
+        next
+    | Insn.Fmov_imm (d, v) ->
+      fun st ->
+        let t = Cpu.issue st.cpu ~cls:Cpu.C_falu ~ready:0.0 in
+        st.fregs.(d) <- v;
+        st.fr.(d) <- t;
+        next
+    | Insn.Falu { op; dst; a; b } ->
+      let cls =
+        match op with
+        | Insn.Fadd | Insn.Fsub -> Cpu.C_falu
+        | Insn.Fmul -> Cpu.C_fmul
+        | Insn.Fdiv -> Cpu.C_fdiv
+      in
+      fun st ->
+        let t = Cpu.issue st.cpu ~cls ~ready:(fmax st.fr.(a) st.fr.(b)) in
+        let av = st.fregs.(a) and bv = st.fregs.(b) in
+        st.fregs.(dst) <-
+          (match op with
+          | Insn.Fadd -> av +. bv
+          | Insn.Fsub -> av -. bv
+          | Insn.Fmul -> av *. bv
+          | Insn.Fdiv -> av /. bv);
+        st.fr.(dst) <- t;
+        next
+    | Insn.Fcmp (a, b) ->
+      fun st ->
+        let t =
+          Cpu.issue st.cpu ~cls:Cpu.C_falu ~ready:(fmax st.fr.(a) st.fr.(b))
+        in
+        let av = st.fregs.(a) and bv = st.fregs.(b) in
+        if Float.is_nan av || Float.is_nan bv then begin
+          st.fz <- false;
+          st.fn <- false;
+          st.fv <- true;
+          st.funord <- true
+        end
+        else begin
+          st.fz <- av = bv;
+          st.fn <- av < bv;
+          st.fv <- false;
+          st.fc <- av >= bv;
+          st.funord <- false
+        end;
+        st.clk.Cpu.flags_ready <- t;
+        next
+    | Insn.Scvtf (d, s) ->
+      fun st ->
+        let t = Cpu.issue st.cpu ~cls:Cpu.C_fcvt ~ready:st.rr.(s) in
+        st.fregs.(d) <- float_of_int st.regs.(s);
+        st.fr.(d) <- t;
+        next
+    | Insn.Fcvtzs (d, s) ->
+      fun st ->
+        let t = Cpu.issue st.cpu ~cls:Cpu.C_fcvt ~ready:st.fr.(s) in
+        let v = st.fregs.(s) in
+        st.regs.(d) <- (if Float.is_nan v then 0 else sext32 (int_of_float v));
+        st.rr.(d) <- t;
+        next
+    | Insn.B l ->
+      let tgt = target l in
+      fun st ->
+        ignore (issue_branch st ~pc:bpc ~ready:0.0 ~taken:true);
+        tgt
+    | Insn.Bcond (c, l) ->
+      let tgt = target l in
+      let cond = cond_fn c in
+      fun st ->
+        let taken = cond st in
+        ignore
+          (issue_branch st ~pc:bpc ~ready:st.clk.Cpu.flags_ready ~taken);
+        if taken then tgt else next
+    | Insn.Deopt_if (c, dp) ->
+      let point = deopts.(dp) in
+      let reason = point.Code.reason in
+      let cond = cond_fn c in
+      fun st ->
+        let taken = cond st in
+        ignore
+          (issue_branch st ~pc:bpc ~ready:st.clk.Cpu.flags_ready ~taken);
+        if taken then begin
+          st.counters.Perf.deopt_events <- st.counters.Perf.deopt_events + 1;
+          st.outcome <-
+            Deopt
+              {
+                deopt_id = dp;
+                reason;
+                snapshot = take_snapshot st;
+                via_smi_ext = false;
+              };
+          -1
+        end
+        else next
+    | Insn.Js_ldr_smi { dst; mem = a; deopt } ->
+      (* Fused load + Not-a-SMI check + untagging shift (Fig 12). *)
+      let dst = vreg dst in
+      let ea = eff a and rdy = aready a in
+      let point = deopts.(deopt) in
+      let reason = point.Code.reason in
+      let rcode = reason_code reason in
+      fun st ->
+        let ea = ea st in
+        let t = issue_load st ~ready:(rdy st) ~addr:ea in
+        let t = t +. st.cpu.Cpu.cfg.Cpu.smi_load_extra in
+        let w = st.mem.(mem_index st name ea) in
+        if w land 1 <> 0 then begin
+          (* Check failed: write REG_PC / REG_RE; commit triggers the
+             bailout through the handler at REG_BA. *)
+          st.regs.(reg_pc) <- bpc;
+          st.regs.(reg_re) <- rcode;
+          st.counters.Perf.deopt_events <- st.counters.Perf.deopt_events + 1;
+          if st.regs.(reg_ba) = 0 then
+            fault "%s: jsldrsmi bailout with REG_BA unset" name;
+          st.outcome <-
+            Deopt
+              {
+                deopt_id = deopt;
+                reason;
+                snapshot = take_snapshot st;
+                via_smi_ext = true;
+              };
+          -1
+        end
+        else begin
+          rset st dst (w asr 1);
+          tset st dst t;
+          next
+        end
+    | Insn.Js_chk_map { mem = a; expected; deopt } ->
+      (* Future-work fused map check: load + compare in the load unit;
+         branch-free bailout like jsldrsmi. *)
+      let ea = eff a and rdy = aready a in
+      let point = deopts.(deopt) in
+      let reason = point.Code.reason in
+      let rcode = reason_code reason in
+      fun st ->
+        let ea = ea st in
+        ignore (issue_load st ~ready:(rdy st) ~addr:ea);
+        let w = st.mem.(mem_index st name ea) in
+        if w <> expected then begin
+          st.regs.(reg_pc) <- bpc;
+          st.regs.(reg_re) <- rcode;
+          st.counters.Perf.deopt_events <- st.counters.Perf.deopt_events + 1;
+          if st.regs.(reg_ba) = 0 then
+            fault "%s: jschkmap bailout with REG_BA unset" name;
+          st.outcome <-
+            Deopt
+              {
+                deopt_id = deopt;
+                reason;
+                snapshot = take_snapshot st;
+                via_smi_ext = true;
+              };
+          -1
+        end
+        else next
+    | Insn.Call (tgt, argc) ->
+      (* All registers are caller-saved; args in r0..r(argc-1).  The
+         argument window is copied into a per-activation scratch buffer
+         (valid only for the duration of the call) instead of a fresh
+         [Array.sub] per call. *)
+      let argc =
+        if argc < 0 || argc > Insn.num_gp_regs then
+          fault "%s: call with %d arguments" name argc
+        else argc
+      in
+      fun st ->
+        let ready = ref st.clk.Cpu.flags_ready in
+        for i = 0 to argc - 1 do
+          if tget st i > !ready then ready := tget st i
+        done;
+        let t = Cpu.issue st.cpu ~cls:Cpu.C_call ~ready:!ready in
+        (* Synchronize dispatch with the call. *)
+        if t > st.clk.Cpu.now then st.clk.Cpu.now <- t;
+        let args_view = scratch_buf st argc in
+        Array.blit st.regs 0 args_view 0 argc;
+        let res =
+          match tgt with
+          | Insn.Builtin b -> st.host.call_builtin b args_view
+          | Insn.Js_code f -> st.host.call_js f args_view
+        in
+        (* A nested run re-targets the PC sampler; restore our
+           attribution (the direct engine does this per instruction via
+           Cpu.sample, we do it once here and once at run entry). *)
+        st.cpu.Cpu.cur_code <- code_id;
+        st.regs.(0) <- res;
+        let after = fmax st.clk.Cpu.now t in
+        st.rr.(0) <- after;
+        for i = 1 to Insn.num_gp_regs - 1 do
+          if tget st i > after then tset st i after
+        done;
+        next
+    | Insn.Ret ->
+      fun st ->
+        ignore (issue_branch st ~pc:bpc ~ready:st.rr.(0) ~taken:true);
+        st.outcome <- Done st.regs.(0);
+        -1
+    | Insn.Spill (slot, s) ->
+      fun st ->
+        ignore (Cpu.issue st.cpu ~cls:Cpu.C_store ~ready:st.rr.(s));
+        st.slots.(slot) <- st.regs.(s);
+        next
+    | Insn.Reload (d, slot) ->
+      fun st ->
+        let t = Cpu.issue st.cpu ~cls:Cpu.C_load ~ready:0.0 in
+        st.regs.(d) <- st.slots.(slot);
+        st.rr.(d) <- t +. 2.0 (* L1-hit reload *);
+        next
+    | Insn.Spill_f (slot, s) ->
+      fun st ->
+        ignore (Cpu.issue st.cpu ~cls:Cpu.C_store ~ready:st.fr.(s));
+        st.fslots.(slot) <- st.fregs.(s);
+        next
+    | Insn.Reload_f (d, slot) ->
+      fun st ->
+        let t = Cpu.issue st.cpu ~cls:Cpu.C_load ~ready:0.0 in
+        st.fregs.(d) <- st.fslots.(slot);
+        st.fr.(d) <- t +. 2.0;
+        next
+    | Insn.Msr (sp, s) ->
+      let idx =
+        match sp with
+        | Insn.Reg_ba -> reg_ba
+        | Insn.Reg_pc -> reg_pc
+        | Insn.Reg_re -> reg_re
+      in
+      let s = vreg s in
+      fun st ->
+        let t = issue_alu st ~ready:(tget st s) in
+        rset st idx (rget st s);
+        tset st idx t;
+        next
+    | Insn.Mrs (d, sp) ->
+      let idx =
+        match sp with
+        | Insn.Reg_ba -> reg_ba
+        | Insn.Reg_pc -> reg_pc
+        | Insn.Reg_re -> reg_re
+      in
+      let d = vreg d in
+      fun st ->
+        let t = issue_alu st ~ready:(tget st idx) in
+        rset st d (rget st idx);
+        tset st d t;
+        next
+  in
+
+  (* One trailing sentinel slot: reachable only by falling through the
+     last instruction (or branching to a trailing pseudo), where the
+     direct engine faults with the same message.  The prologue runs on
+     the sentinel's zero side-array entries before the fault fires;
+     the fault aborts the activation, so that state is unobservable. *)
+  let uops =
+    Array.make (!count + 1) (fun (_ : st) ->
+        fault "%s: fell off code end" name)
+  in
+  let addrs = Array.make (!count + 1) 0 in
+  let pcs = Array.make (!count + 1) 0 in
+  let checks = Array.make (!count + 1) 0 in
+  for i = 0 to n - 1 do
+    let insn = insns.(i) in
+    let k = insn.Insn.kind in
+    if not (Insn.is_pseudo k) then begin
+      let u = uop_of_insn.(i) in
+      uops.(u) <- body i u k;
+      let addr = base + i in
+      addrs.(u) <- addr;
+      pcs.(u) <- i;
+      (* Check provenance and deopt-branch status are static: fold the
+         direct engine's per-instruction [count_check] match into one
+         packed descriptor read by the dispatch loop. *)
+      checks.(u) <-
+        (match insn.Insn.prov with
+        | Insn.Check { group; _ } ->
+          let branch = match k with Insn.Deopt_if _ -> true | _ -> false in
+          (Insn.group_index group + 1) lor (if branch then 16 else 0)
+        | Insn.Main_line | Insn.Shared -> 0)
+    end
+  done;
+  {
+    p_name = name;
+    p_code_id = code_id;
+    p_uops = uops;
+    p_addrs = addrs;
+    p_pcs = pcs;
+    p_checks = checks;
+  }
+
+let get (code : Code.t) =
+  match code.Code.decode_cache with
+  | Decoded p -> p
+  | _ ->
+    let p = compile code in
+    code.Code.decode_cache <- Decoded p;
+    p
+
+let warm code = ignore (get code)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let shared_no_scratch : int array array = [||]
+
+let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
+  let p = get code in
+  let regs = Array.make (Insn.num_gp_regs + 3) 0 in
+  let fregs = Array.make Insn.num_fp_regs 0.0 in
+  let slots = Array.make (max 1 code.Code.gp_slots) 0 in
+  let fslots = Array.make (max 1 code.Code.fp_slots) 0.0 in
+  let n_args = min (Array.length args) Insn.num_arg_regs in
+  Array.blit args 0 regs 0 n_args;
+  let st =
+    {
+      cpu;
+      clk = cpu.Cpu.clk;
+      inorder = cpu.Cpu.cfg.Cpu.inorder;
+      sampler = cpu.Cpu.sampler;
+      counters = cpu.Cpu.counters;
+      regs;
+      fregs;
+      slots;
+      fslots;
+      rr = cpu.Cpu.reg_ready;
+      fr = cpu.Cpu.freg_ready;
+      mem = host.memory;
+      host;
+      scratch = shared_no_scratch;
+      fz = false;
+      fn = false;
+      fv = false;
+      fc = false;
+      funord = false;
+      outcome = Done 0;
+    }
+  in
+  let uops = p.p_uops in
+  let addrs = p.p_addrs in
+  let pcs = p.p_pcs and checks = p.p_checks in
+  let counters = st.counters in
+  cpu.Cpu.cur_code <- p.p_code_id;
+  (* Every next-index a micro-op can return is within [0, count]
+     (straight-line successors and decode-resolved branch targets), and
+     slot [count] holds the fell-off-code-end sentinel, so the loop
+     indexes the arrays unchecked. *)
+  (match cpu.Cpu.sampler with
+  | Some _ ->
+    let i = ref 0 in
+    while !i >= 0 do
+      let k = !i in
+      (* Shared per-instruction prologue, all constants pre-resolved:
+         exactly the direct engine's fetch/sample/count/check
+         sequence. *)
+      let addr = Array.unsafe_get addrs k in
+      Cpu.fetch_line cpu ~addr ~line:(addr lsr 4);
+      cpu.Cpu.cur_pc <- Array.unsafe_get pcs k;
+      counters.Perf.jit_instructions <- counters.Perf.jit_instructions + 1;
+      let ci = Array.unsafe_get checks k in
+      if ci <> 0 then
+        Perf.note_check counters
+          ~group_index:((ci land 15) - 1)
+          ~branch:(ci >= 16);
+      i := (Array.unsafe_get uops k) st
+    done
+  | None ->
+    (* Without a PC sampler the attribution PC is never read
+       ([Cpu.finish] only consults it to tick the sampler), so the
+       per-instruction [cur_pc] update is dead and skipped. *)
+    let i = ref 0 in
+    while !i >= 0 do
+      let k = !i in
+      let addr = Array.unsafe_get addrs k in
+      Cpu.fetch_line cpu ~addr ~line:(addr lsr 4);
+      counters.Perf.jit_instructions <- counters.Perf.jit_instructions + 1;
+      let ci = Array.unsafe_get checks k in
+      if ci <> 0 then
+        Perf.note_check counters
+          ~group_index:((ci land 15) - 1)
+          ~branch:(ci >= 16);
+      i := (Array.unsafe_get uops k) st
+    done);
+  st.outcome

@@ -1,17 +1,22 @@
-type host = {
+(* Execution front end: selects between the pre-decoded threaded-code
+   engine (Decode, the default) and the direct interpreter below, which
+   is kept as the executable specification of the machine semantics.
+   The two must stay bit-identical — see the exec-determinism tests. *)
+
+type host = Decode.host = {
   memory : int array;
   call_builtin : int -> int array -> int;
   call_js : int -> int array -> int;
 }
 
-type snapshot = {
+type snapshot = Decode.snapshot = {
   s_regs : int array;
   s_fregs : float array;
   s_slots : int array;
   s_fslots : float array;
 }
 
-type outcome =
+type outcome = Decode.outcome =
   | Done of int
   | Deopt of {
       deopt_id : int;
@@ -20,34 +25,16 @@ type outcome =
       via_smi_ext : bool;
     }
 
-exception Machine_fault of string
+exception Machine_fault = Decode.Machine_fault
 
-let fault fmt = Printf.ksprintf (fun s -> raise (Machine_fault s)) fmt
+let fault = Decode.fault
 
 (* Special register indexes inside the GP register file. *)
-let reg_ba = Insn.num_gp_regs
-let reg_pc = Insn.num_gp_regs + 1
-let reg_re = Insn.num_gp_regs + 2
-
-let sext32 x =
-  let w = x land 0xFFFFFFFF in
-  if w >= 0x80000000 then w - 0x100000000 else w
-
-(* Deopt reason encoding written to REG_RE by the SMI-extension bailout
-   path (paper: an 8-bit deoptimization-reason code). *)
-let reason_code = function
-  | Insn.Not_a_smi -> 1
-  | Insn.Smi -> 2
-  | Insn.Out_of_bounds -> 3
-  | Insn.Wrong_map -> 4
-  | Insn.Overflow -> 5
-  | Insn.Lost_precision -> 6
-  | Insn.Division_by_zero -> 7
-  | Insn.Minus_zero -> 8
-  | Insn.Not_a_number -> 9
-  | Insn.Wrong_value -> 10
-  | Insn.Hole -> 11
-  | Insn.Insufficient_feedback -> 12
+let reg_ba = Decode.reg_ba
+let reg_pc = Decode.reg_pc
+let reg_re = Decode.reg_re
+let sext32 = Decode.sext32
+let reason_code = Decode.reason_code
 
 type flags = {
   mutable fz : bool;
@@ -57,7 +44,7 @@ type flags = {
   mutable funord : bool;  (* last fcmp was unordered (NaN) *)
 }
 
-let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
+let run_direct (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
   let regs = Array.make (Insn.num_gp_regs + 3) 0 in
   let fregs = Array.make Insn.num_fp_regs 0.0 in
   let slots = Array.make (max 1 code.Code.gp_slots) 0 in
@@ -72,6 +59,22 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
   let flags = { fz = false; fn = false; fv = false; fc = false; funord = false } in
   let rr = cpu.Cpu.reg_ready and fr = cpu.Cpu.freg_ready in
   let counters = cpu.Cpu.counters in
+  (* Per-argc call-argument buffers, allocated on first use; the host
+     callbacks only read the argument window for the duration of the
+     call, so the buffers can be reused across calls. *)
+  let scratch = ref [||] in
+  let scratch_buf argc =
+    if Array.length !scratch = 0 then
+      scratch := Array.make (Insn.num_gp_regs + 4) [||];
+    let s = !scratch in
+    let b = s.(argc) in
+    if Array.length b = argc then b
+    else begin
+      let b = Array.make argc 0 in
+      s.(argc) <- b;
+      b
+    end
+  in
 
   let mem_index a =
     if a land 1 <> 0 then fault "%s: unaligned address %d" code.Code.name a;
@@ -79,6 +82,12 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
     if i < 0 || i >= Array.length mem then
       fault "%s: address %d out of range" code.Code.name a;
     i
+  in
+  (* Second word of a two-word (float) access; [i0] has been checked. *)
+  let mem_index2 a i0 =
+    if i0 + 1 >= Array.length mem then
+      fault "%s: address %d out of range" code.Code.name (a + 2);
+    i0 + 1
   in
   let eff_addr (a : Insn.addr) =
     let base = regs.(a.Insn.base) in
@@ -145,12 +154,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
   let count_check (i : Insn.t) branch =
     match i.Insn.prov with
     | Insn.Check { group; _ } ->
-      counters.Perf.check_instructions <- counters.Perf.check_instructions + 1;
-      let gi = Insn.group_index group in
-      counters.Perf.check_per_group.(gi) <-
-        counters.Perf.check_per_group.(gi) + 1;
-      if branch then
-        counters.Perf.check_branches <- counters.Perf.check_branches + 1
+      Perf.note_check counters ~group_index:(Insn.group_index group) ~branch
     | Insn.Main_line | Insn.Shared -> ()
   in
 
@@ -189,8 +193,9 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          let ea = eff_addr a in
          let t = Cpu.issue_load cpu ~ready:(addr_ready a) ~addr:ea in
          let i0 = mem_index ea in
+         let i1 = mem_index2 ea i0 in
          let lo = Int64.of_int (mem.(i0) land 0xFFFFFFFF) in
-         let hi = Int64.of_int (mem.(i0 + 1) land 0xFFFFFFFF) in
+         let hi = Int64.of_int (mem.(i1) land 0xFFFFFFFF) in
          fregs.(d) <- Int64.float_of_bits (Int64.logor lo (Int64.shift_left hi 32));
          fr.(d) <- t
        | Insn.Str_f (a, s) ->
@@ -199,8 +204,9 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          ignore (Cpu.issue_store cpu ~ready ~addr:ea);
          let bits = Int64.bits_of_float fregs.(s) in
          let i0 = mem_index ea in
+         let i1 = mem_index2 ea i0 in
          mem.(i0) <- Int64.to_int (Int64.logand bits 0xFFFFFFFFL);
-         mem.(i0 + 1) <- Int64.to_int (Int64.shift_right_logical bits 32)
+         mem.(i1) <- Int64.to_int (Int64.shift_right_logical bits 32)
        | Insn.Alu { op; dst; src; rhs; set_flags } ->
          let a = regs.(src) and b = operand_value rhs in
          let ready = Float.max rr.(src) (operand_ready rhs) in
@@ -246,7 +252,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          end;
          regs.(dst) <- sext32 raw;
          rr.(dst) <- t;
-         if set_flags then cpu.Cpu.flags_ready <- t
+         if set_flags then cpu.Cpu.clk.Cpu.flags_ready <- t
        | Insn.Alu_mem { op; dst; src; mem = a } ->
          let ea = eff_addr a in
          let ready = Float.max rr.(src) (addr_ready a) in
@@ -273,7 +279,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          let ready = Float.max rr.(a) (operand_ready rhs) in
          let t = Cpu.issue cpu ~cls:Cpu.C_alu ~ready in
          set_add_sub_flags av bv (av - bv) true;
-         cpu.Cpu.flags_ready <- t
+         cpu.Cpu.clk.Cpu.flags_ready <- t
        | Insn.Cmp_mem (a, m) ->
          let ea = eff_addr m in
          let ready = Float.max rr.(a) (addr_ready m) in
@@ -281,7 +287,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          let bv = mem.(mem_index ea) in
          let av = regs.(a) in
          set_add_sub_flags av bv (av - bv) true;
-         cpu.Cpu.flags_ready <- t +. 1.0
+         cpu.Cpu.clk.Cpu.flags_ready <- t +. 1.0
        | Insn.Tst (a, rhs) ->
          let av = regs.(a) and bv = operand_value rhs in
          let ready = Float.max rr.(a) (operand_ready rhs) in
@@ -291,7 +297,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          flags.fn <- r < 0;
          flags.fv <- false;
          flags.funord <- false;
-         cpu.Cpu.flags_ready <- t
+         cpu.Cpu.clk.Cpu.flags_ready <- t
        | Insn.Fmov (d, s) ->
          let t = Cpu.issue cpu ~cls:Cpu.C_falu ~ready:fr.(s) in
          fregs.(d) <- fregs.(s);
@@ -334,7 +340,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
            flags.fc <- av >= bv;
            flags.funord <- false
          end;
-         cpu.Cpu.flags_ready <- t
+         cpu.Cpu.clk.Cpu.flags_ready <- t
        | Insn.Scvtf (d, s) ->
          let t = Cpu.issue cpu ~cls:Cpu.C_fcvt ~ready:rr.(s) in
          fregs.(d) <- float_of_int regs.(s);
@@ -352,13 +358,13 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          let taken = eval_cond c in
          ignore
            (Cpu.issue_branch cpu ~pc:(base + !pc)
-              ~ready:cpu.Cpu.flags_ready ~taken);
+              ~ready:cpu.Cpu.clk.Cpu.flags_ready ~taken);
          if taken then next := code.Code.label_index.(l)
        | Insn.Deopt_if (c, dp) ->
          let taken = eval_cond c in
          ignore
            (Cpu.issue_branch cpu ~pc:(base + !pc)
-              ~ready:cpu.Cpu.flags_ready ~taken);
+              ~ready:cpu.Cpu.clk.Cpu.flags_ready ~taken);
          if taken then begin
            let point = code.Code.deopts.(dp) in
            counters.Perf.deopt_events <- counters.Perf.deopt_events + 1;
@@ -430,7 +436,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
        | Insn.Call (target, argc) ->
          (* All registers are caller-saved; args in r0..r(argc-1). *)
          let ready =
-           let r = ref cpu.Cpu.flags_ready in
+           let r = ref cpu.Cpu.clk.Cpu.flags_ready in
            for i = 0 to argc - 1 do
              if rr.(i) > !r then r := rr.(i)
            done;
@@ -438,15 +444,16 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          in
          let t = Cpu.issue cpu ~cls:Cpu.C_call ~ready in
          (* Synchronize dispatch with the call. *)
-         if t > cpu.Cpu.now then cpu.Cpu.now <- t;
-         let args_view = Array.sub regs 0 argc in
+         if t > cpu.Cpu.clk.Cpu.now then cpu.Cpu.clk.Cpu.now <- t;
+         let args_view = scratch_buf argc in
+         Array.blit regs 0 args_view 0 argc;
          let res =
            match target with
            | Insn.Builtin b -> host.call_builtin b args_view
            | Insn.Js_code f -> host.call_js f args_view
          in
          regs.(0) <- res;
-         let after = Float.max cpu.Cpu.now t in
+         let after = Float.max cpu.Cpu.clk.Cpu.now t in
          rr.(0) <- after;
          for i = 1 to Insn.num_gp_regs - 1 do
            rr.(i) <- Float.min rr.(i) after
@@ -496,6 +503,40 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
   match !result with
   | Some r -> r
   | None -> fault "%s: executor loop exited without result" code.Code.name
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type engine_kind = Direct | Decoded
+
+let env_engine =
+  lazy
+    (match Sys.getenv_opt "VSPEC_EXEC" with
+    | None | Some "" | Some "decoded" -> Decoded
+    | Some "direct" -> Direct
+    | Some other ->
+      invalid_arg
+        (Printf.sprintf "VSPEC_EXEC=%s: expected \"decoded\" or \"direct\""
+           other))
+
+let engine_override : engine_kind option ref = ref None
+let set_engine k = engine_override := k
+
+let current_engine () =
+  match !engine_override with
+  | Some k -> k
+  | None -> Lazy.force env_engine
+
+let run cpu ~host ~code ~args =
+  match current_engine () with
+  | Decoded -> Decode.run cpu ~host ~code ~args
+  | Direct -> run_direct cpu ~host ~code ~args
+
+let warm code =
+  match current_engine () with
+  | Decoded -> Decode.warm code
+  | Direct -> ()
 
 let frame_value snapshot ~materialize_double = function
   | Code.Fv_reg r -> snapshot.s_regs.(r)

@@ -12,25 +12,43 @@
     and JS-to-JS calls are dispatched by the embedding engine, which may
     recursively run compiled code or fall back to its interpreter.  All
     registers are caller-saved; arguments arrive in r0..r5 and the
-    result returns in r0. *)
+    result returns in r0.
 
-type host = {
+    Two interchangeable engines implement these semantics:
+
+    - the {b pre-decoded threaded-code engine} ({!Decode}, the
+      default): each code object is compiled once into a flat array of
+      micro-op closures driven by an accumulator-style dispatch loop;
+    - the {b direct interpreter} ({!run_direct}): matches on
+      [Insn.kind] per retired instruction; kept as the executable
+      specification.
+
+    The two are bit-identical — same outcomes, memory, cycle counts and
+    counters — which the exec-determinism test suite enforces by digest
+    comparison.  Select with the [VSPEC_EXEC] environment variable
+    ([decoded], the default, or [direct]) or programmatically with
+    {!set_engine}. *)
+
+type host = Decode.host = {
   memory : int array;
   call_builtin : int -> int array -> int;
-      (** [call_builtin id args] with [args] = r0..r5; must charge its
-          own cost on the shared CPU; returns the tagged result. *)
+      (** [call_builtin id args] with [args] = r0..r(argc-1); must
+          charge its own cost on the shared CPU; returns the tagged
+          result.  The [args] array is only valid for the duration of
+          the call — both engines reuse a scratch buffer across
+          calls. *)
   call_js : int -> int array -> int;
       (** [call_js function_id args]; same contract. *)
 }
 
-type snapshot = {
+type snapshot = Decode.snapshot = {
   s_regs : int array;
   s_fregs : float array;
   s_slots : int array;
   s_fslots : float array;
 }
 
-type outcome =
+type outcome = Decode.outcome =
   | Done of int                    (** tagged return value (r0) *)
   | Deopt of {
       deopt_id : int;
@@ -41,9 +59,34 @@ type outcome =
 
 exception Machine_fault of string
 (** Unaligned access, out-of-range address, or executing past the end of
-    the code object — always a JIT bug, never a user-program error. *)
+    the code object — always a JIT bug, never a user-program error.
+    Alias of {!Decode.Machine_fault}: both engines raise the same
+    exception with the same messages. *)
 
 val run : Cpu.t -> host:host -> code:Code.t -> args:int array -> outcome
+(** Execute with the currently selected engine (see {!current_engine}). *)
+
+val run_direct : Cpu.t -> host:host -> code:Code.t -> args:int array -> outcome
+(** The direct interpreter, always available regardless of the selected
+    engine — reference semantics for differential testing and
+    benchmarking. *)
+
+(** {1 Engine selection} *)
+
+type engine_kind = Direct | Decoded
+
+val current_engine : unit -> engine_kind
+(** The engine {!run} dispatches to: the {!set_engine} override if any,
+    else [VSPEC_EXEC] ([decoded] when unset). *)
+
+val set_engine : engine_kind option -> unit
+(** Override (or, with [None], un-override) the environment selection —
+    used by tests and benchmarks to compare engines in-process. *)
+
+val warm : Code.t -> unit
+(** Pre-decode a code object if the decoded engine is active (no-op
+    otherwise); called by the engine at JIT-compile time so first
+    execution does not pay the decode. *)
 
 val frame_value :
   snapshot -> materialize_double:(float -> int) -> Code.frame_value -> int

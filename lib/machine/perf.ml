@@ -49,6 +49,13 @@ let reset_counters c =
   c.jit_instructions <- 0;
   c.runtime_instructions <- 0
 
+(* Shared check-accounting path of both executors: one retired check
+   instruction, attributed to its group, optionally a deopt branch. *)
+let[@inline] note_check c ~group_index ~branch =
+  c.check_instructions <- c.check_instructions + 1;
+  c.check_per_group.(group_index) <- c.check_per_group.(group_index) + 1;
+  if branch then c.check_branches <- c.check_branches + 1
+
 let add_counters acc c =
   acc.instructions <- acc.instructions + c.instructions;
   acc.branches <- acc.branches + c.branches;

@@ -30,6 +30,11 @@ val reset_counters : counters -> unit
 val add_counters : counters -> counters -> unit
 (** [add_counters acc c] accumulates [c] into [acc]. *)
 
+val note_check : counters -> group_index:int -> branch:bool -> unit
+(** Account one committed check instruction to its group; [branch]
+    marks it as a deopt branch.  Shared by both executors so their
+    counter streams stay bit-identical. *)
+
 (** {1 Special code ids for non-JIT execution} *)
 
 val runtime_code_id : int

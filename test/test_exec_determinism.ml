@@ -1,0 +1,104 @@
+(* Bit-identity of the pre-decoded threaded-code engine against the
+   direct interpreter: whole harness results (checksums, cycle counts,
+   every counter, PC-sample attributions) must digest equal for the
+   fig7-style cell axes — both ISAs, the SMI extension, check removal,
+   and a benchmark that actually deoptimizes. *)
+
+(* The on-disk cache must not serve one engine's results to the other. *)
+let () = Unix.putenv "VSPEC_CACHE_DIR" "off"
+
+let iters = 25
+
+let digest (r : Experiments.Harness.result) =
+  Digest.to_hex (Digest.string (Marshal.to_string r []))
+
+(* Always deopts once mid-run: iteration 8 overflows an int32 add. *)
+let deopting_bench =
+  {
+    Workloads.Suite.id = "synthetic-overflow";
+    category = Workloads.Suite.Math;
+    description = "deopts on arithmetic overflow mid-run";
+    source =
+      {|
+var phase = 0;
+function f(x) { return x + x; }
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 20; i++) s = (s + f(i)) % 100003;
+  phase = phase + 1;
+  if (phase == 8) s = s + f(900000000) % 7;
+  return s % 100003;
+}
+|};
+  }
+
+let run_with engine ~arch ~seed variant b =
+  Exec.set_engine (Some engine);
+  Fun.protect
+    ~finally:(fun () -> Exec.set_engine None)
+    (fun () ->
+      let config = Experiments.Common.config_for ~arch ~seed variant in
+      Experiments.Harness.run ~iterations:iters ~config b)
+
+let check_cell ?(expect_deopts = false) ~arch ~seed variant b =
+  let label =
+    Printf.sprintf "%s@%s/%s" b.Workloads.Suite.id (Arch.name arch)
+      (Experiments.Common.variant_name variant)
+  in
+  let direct = run_with Exec.Direct ~arch ~seed variant b in
+  let decoded = run_with Exec.Decoded ~arch ~seed variant b in
+  Alcotest.(check string)
+    (label ^ ": direct and decoded results digest-equal")
+    (digest direct) (digest decoded);
+  Alcotest.(check (option string)) (label ^ ": no error") None
+    decoded.Experiments.Harness.error;
+  if expect_deopts then
+    Alcotest.(check bool)
+      (label ^ ": benchmark deopted") true
+      (decoded.Experiments.Harness.counters.Perf.deopt_events > 0)
+
+let bench id = Option.get (Workloads.Suite.by_id id)
+
+let test_normal_cells () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun id ->
+          check_cell ~arch ~seed:1 Experiments.Common.V_normal (bench id))
+        [ "DP"; "HASH" ])
+    [ Arch.X64; Arch.Arm64 ]
+
+let test_deopting_cells () =
+  List.iter
+    (fun arch ->
+      check_cell ~expect_deopts:true ~arch ~seed:1 Experiments.Common.V_normal
+        deopting_bench)
+    [ Arch.X64; Arch.Arm64 ]
+
+let test_removal_cells () =
+  (* The fig7 removal leg: checks of a group disabled at codegen. *)
+  List.iter
+    (fun arch ->
+      check_cell ~arch ~seed:2
+        (Experiments.Common.V_no_checks [ Insn.G_boundary ])
+        (bench "DP"))
+    [ Arch.X64; Arch.Arm64 ]
+
+let test_smi_ext_cell () =
+  (* Arm64_smi_ext exercises the fused [jsldrsmi] micro-op. *)
+  check_cell ~arch:Arch.Arm64 ~seed:1 Experiments.Common.V_smi_ext
+    (bench "SPMV-CSR-SMI");
+  check_cell ~expect_deopts:true ~arch:Arch.Arm64 ~seed:1
+    Experiments.Common.V_smi_ext deopting_bench
+
+let suite =
+  [
+    ( "exec-determinism",
+      [
+        Alcotest.test_case "normal cells (X64 + ARM64)" `Quick
+          test_normal_cells;
+        Alcotest.test_case "deopting benchmark" `Quick test_deopting_cells;
+        Alcotest.test_case "check-removal variant" `Quick test_removal_cells;
+        Alcotest.test_case "smi-ext variant" `Quick test_smi_ext_cell;
+      ] );
+  ]

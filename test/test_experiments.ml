@@ -82,6 +82,86 @@ let test_window_skips_pseudos () =
   Alcotest.(check int) "truth uses provenance" 21
     truth.(Insn.group_index Insn.G_not_smi)
 
+let test_window_near_code_start () =
+  (* A deopt branch within the first [w] instructions: the backward walk
+     hits the start of the code object and must stop cleanly. *)
+  let code =
+    mk_code
+      [ Insn.make
+          ~prov:(Insn.Check { group = Insn.G_boundary; role = Insn.Role_branch })
+          (Insn.Deopt_if (Insn.Hs, 0));
+        Insn.make Insn.Ret ]
+  in
+  let wm = Experiments.Harness.check_window_map code in
+  let gi = Insn.group_index Insn.G_boundary in
+  Alcotest.(check (array int)) "branch at index 0 maps alone" [| gi; -1 |] wm;
+  (* One predecessor available, window wants two (ARM64). *)
+  let code2 =
+    mk_code
+      [ Insn.make (Insn.Cmp (0, Insn.Imm 1));
+        Insn.make
+          ~prov:(Insn.Check { group = Insn.G_boundary; role = Insn.Role_branch })
+          (Insn.Deopt_if (Insn.Hs, 0));
+        Insn.make Insn.Ret ]
+  in
+  let wm2 = Experiments.Harness.check_window_map code2 in
+  Alcotest.(check (array int)) "partial window near start" [| gi; gi; -1 |] wm2
+
+let test_window_pseudo_dense_prefix () =
+  (* Pseudo instructions between the check and its predecessors do not
+     consume window slots: the window reaches across them to the [w]
+     nearest real instructions. *)
+  let code =
+    mk_code
+      [ Insn.make (Insn.Mov (0, Insn.Imm 1));
+        Insn.make (Insn.Label 0);
+        Insn.make (Insn.Label 1);
+        Insn.make (Insn.Cmp (0, Insn.Imm 2));
+        Insn.make (Insn.Label 2);
+        Insn.make
+          ~prov:(Insn.Check { group = Insn.G_boundary; role = Insn.Role_branch })
+          (Insn.Deopt_if (Insn.Hs, 0));
+        Insn.make Insn.Ret ]
+  in
+  let wm = Experiments.Harness.check_window_map code in
+  let gi = Insn.group_index Insn.G_boundary in
+  Alcotest.(check (array int)) "window crosses pseudo-dense prefix"
+    [| gi; -1; -1; gi; -1; gi; -1 |]
+    wm
+
+let test_window_overlapping_checks () =
+  (* Two adjacent checks with overlapping windows: instructions already
+     claimed by the earlier check keep its group (first-marked wins),
+     but claimed slots still consume the later window's budget. *)
+  let deopts =
+    [| { Code.dp_id = 0; reason = Insn.Out_of_bounds; bc_pc = 0; frame = [||];
+         accumulator = Code.Fv_dead };
+       { Code.dp_id = 1; reason = Insn.Not_a_smi; bc_pc = 0; frame = [||];
+         accumulator = Code.Fv_dead } |]
+  in
+  let code =
+    Code.assemble ~code_id:0 ~name:"t" ~arch:Arch.Arm64 ~deopts ~gp_slots:4
+      ~fp_slots:0 ~base_addr:0
+      [ Insn.make (Insn.Mov (0, Insn.Imm 1));
+        Insn.make (Insn.Cmp (0, Insn.Imm 2));
+        Insn.make
+          ~prov:(Insn.Check { group = Insn.G_boundary; role = Insn.Role_branch })
+          (Insn.Deopt_if (Insn.Hs, 0));
+        Insn.make (Insn.Tst (0, Insn.Imm 1));
+        Insn.make
+          ~prov:(Insn.Check { group = Insn.G_not_smi; role = Insn.Role_branch })
+          (Insn.Deopt_if (Insn.Ne, 1));
+        Insn.make Insn.Ret ]
+  in
+  let wm = Experiments.Harness.check_window_map code in
+  let b = Insn.group_index Insn.G_boundary in
+  let s = Insn.group_index Insn.G_not_smi in
+  (* The second window (w=2) reaches the first branch but cannot steal
+     it; the slot still uses up one of its two window entries. *)
+  Alcotest.(check (array int)) "overlap resolves to earlier check"
+    [| b; b; b; s; s; -1 |]
+    wm
+
 let test_harness_run_basic () =
   let b = Option.get (Workloads.Suite.by_id "DP") in
   let config = Engine.default_config ~arch:Arch.Arm64 () in
@@ -191,6 +271,9 @@ let suite =
         Alcotest.test_case "window attribution (arm64)" `Quick test_window_attribution_arm64;
         Alcotest.test_case "window attribution (x64)" `Quick test_window_attribution_x64;
         Alcotest.test_case "window skips pseudos" `Quick test_window_skips_pseudos;
+        Alcotest.test_case "window near code start" `Quick test_window_near_code_start;
+        Alcotest.test_case "pseudo-dense prefix" `Quick test_window_pseudo_dense_prefix;
+        Alcotest.test_case "overlapping windows" `Quick test_window_overlapping_checks;
         Alcotest.test_case "run basics" `Quick test_harness_run_basic;
         Alcotest.test_case "calibration" `Quick test_calibration_finds_fired_groups;
       ] );

@@ -505,8 +505,82 @@ let test_jschkmap_fast_and_fail () =
     Alcotest.(check bool) "wrong-map reason" true (reason = Insn.Wrong_map);
     Alcotest.(check bool) "branch-free bailout" true via_smi_ext
 
+(* ---------------- Engine parity ---------------- *)
+
+let with_engine engine f =
+  Exec.set_engine (Some engine);
+  Fun.protect ~finally:(fun () -> Exec.set_engine None) f
+
+(* A float access whose FIRST word is in range but whose second is not
+   must fault like any other wild access on both engines (historically
+   the second word escaped the bounds check and surfaced as a raw
+   [Invalid_argument]). *)
+let test_float_mem_second_word_bounds () =
+  let last_word_addr = 2 * 63 (* memory is 64 words; word 64 is OOB *) in
+  let ldr_f =
+    [ Insn.Mov (1, Insn.Imm last_word_addr);
+      Insn.Ldr_f (0, Insn.mk_addr 1);
+      Insn.Ret ]
+  in
+  let str_f =
+    [ Insn.Fmov_imm (0, 1.5);
+      Insn.Mov (1, Insn.Imm last_word_addr);
+      Insn.Str_f (Insn.mk_addr 1, 0);
+      Insn.Ret ]
+  in
+  List.iter
+    (fun (engine, ename) ->
+      with_engine engine (fun () ->
+          List.iter
+            (fun (name, insns) ->
+              match ignore (run insns) with
+              | () -> Alcotest.fail (name ^ ": second word escaped bounds")
+              | exception Exec.Machine_fault msg ->
+                Alcotest.(check string)
+                  (Printf.sprintf "%s/%s fault message" name ename)
+                  "test: address 128 out of range" msg)
+            [ ("ldr_f", ldr_f); ("str_f", str_f) ]))
+    [ (Exec.Direct, "direct"); (Exec.Decoded, "decoded") ]
+
+(* Same program, fresh CPUs: both engines must agree on the outcome and
+   on the complete timing/counter state. *)
+let test_engines_bit_identical () =
+  let insns =
+    [ Insn.Mov (0, Insn.Imm 0);
+      Insn.Mov (1, Insn.Imm 0) (* address cursor *);
+      Insn.Mov (2, Insn.Imm 40) (* iterations *);
+      Insn.Label 0;
+      Insn.Ldr (3, Insn.mk_addr 1);
+      Insn.Alu { op = Insn.Add; dst = 0; src = 0; rhs = Insn.Reg 3; set_flags = false };
+      Insn.Str (Insn.mk_addr ~offset:2 1, 0);
+      Insn.Alu { op = Insn.Add; dst = 1; src = 1; rhs = Insn.Imm 4; set_flags = false };
+      Insn.Alu { op = Insn.Sub; dst = 2; src = 2; rhs = Insn.Imm 1; set_flags = true };
+      Insn.Bcond (Insn.Ne, 0);
+      Insn.Ret ]
+  in
+  let measure engine =
+    with_engine engine (fun () ->
+        let memory = Array.init 256 (fun i -> (i * 7) land 0xFF) in
+        let cpu, outcome = run ~memory insns in
+        ( outcome,
+          Cpu.cycles cpu,
+          Digest.string (Marshal.to_string cpu.Cpu.counters []),
+          Digest.string (Marshal.to_string memory []) ))
+  in
+  let o1, c1, k1, m1 = measure Exec.Direct in
+  let o2, c2, k2, m2 = measure Exec.Decoded in
+  Alcotest.(check bool) "same outcome" true (o1 = o2);
+  Alcotest.(check (float 0.0)) "same cycle count" c1 c2;
+  Alcotest.(check string) "same counters" (Digest.to_hex k1) (Digest.to_hex k2);
+  Alcotest.(check string) "same memory" (Digest.to_hex m1) (Digest.to_hex m2)
+
 let extra_suite =
   [ ( "jschkmap",
-      [ Alcotest.test_case "fast/fail" `Quick test_jschkmap_fast_and_fail ] ) ]
+      [ Alcotest.test_case "fast/fail" `Quick test_jschkmap_fast_and_fail ] );
+    ( "engines",
+      [ Alcotest.test_case "float second-word bounds" `Quick
+          test_float_mem_second_word_bounds;
+        Alcotest.test_case "direct/decoded bit-identical" `Quick
+          test_engines_bit_identical ] ) ]
 
 let suite = base_suite @ extra_suite

@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the source of truth.
 
-.PHONY: all build test quick bench bench-exec perf clean
+.PHONY: all build test quick bench bench-exec perf faults check clean
 
 all: build
 
@@ -26,6 +26,15 @@ bench-exec:
 # Determinism gate + exec micro-benchmarks (no report files written).
 perf:
 	dune build @perf
+
+# Fault-tolerance gate: fault unit suite + one figure under seeded
+# injection asserting the degraded exit-code contract (exit 1).
+faults:
+	dune build @faults
+
+# The pre-merge gate: smoke path + fault-tolerance gate.
+check:
+	dune build @quick @faults
 
 clean:
 	dune clean

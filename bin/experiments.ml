@@ -5,7 +5,19 @@
    (comma-separated benchmark ids to restrict the suite), VSPEC_JOBS
    (domain-pool size; 1 = sequential), VSPEC_CACHE_DIR (persistent
    result cache location, "off" to disable), VSPEC_BENCH_OUT (timing
-   report path, default BENCH_suite.json). *)
+   report path, default BENCH_suite.json).
+
+   Fault-handling knobs: VSPEC_MAX_CYCLES (watchdog cycle budget per
+   engine entry, "off" to disable), VSPEC_RETRIES / VSPEC_RETRY_BACKOFF_MS
+   (transient-fault retry policy), VSPEC_FAULTS (deterministic fault
+   injection, site:rate:seed[:keyfilter] comma-list), VSPEC_VERIFY
+   (checksum cells against the interpreter-only reference),
+   VSPEC_REGEX_STEPS (regex backtracking budget).
+
+   Exit codes: 0 = clean; 1 = degraded (at least one cell permanently
+   failed -- the failure report on stderr lists each cell, its error
+   class and attempt count, and the affected figure cells render as
+   missing); 2 = unknown experiment id. *)
 
 let list_experiments () =
   print_endline "available experiments:";
@@ -32,7 +44,12 @@ let run_ids ids =
           exit 2)
       ids;
     Experiments.Timing.write_report ()
-  end
+  end;
+  (* Degraded-run contract: every permanent cell failure was contained
+     (its figure cells render as missing), reported here, and turned
+     into exit code 1 so CI can tell a degraded run from a clean one. *)
+  Support.Fault.Ledger.report stderr;
+  exit (Support.Fault.Ledger.exit_code ())
 
 open Cmdliner
 

@@ -72,23 +72,75 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let disk_dir =
-  lazy
-    (let resolve dir =
-       try
-         mkdir_p dir;
-         if Sys.is_directory dir then Some dir else None
-       with _ -> None
-     in
-     match Sys.getenv_opt "VSPEC_CACHE_DIR" with
-     | Some ("" | "off" | "none" | "0") -> None
-     | Some dir -> resolve dir
-     | None ->
-       (* Default next to the build artifacts when run from the project
-          root; disabled elsewhere (e.g. sandboxed test runs). *)
-       if (try Sys.is_directory "_build" with _ -> false) then
-         resolve (Filename.concat "_build" ".vspec-cache")
-       else None)
+(* Probe the directory for real writability rather than trusting mode
+   bits: overlay mounts, read-only bind mounts and mid-path regular
+   files all fail here in ways [Unix.access] can misreport. *)
+let resolve_cache_dir dir =
+  match
+    mkdir_p dir;
+    Sys.is_directory dir
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    ( None,
+      Some
+        (Printf.sprintf "cannot create cache dir %S (%s); caching disabled"
+           dir (Unix.error_message e)) )
+  | exception Sys_error msg ->
+    (None, Some (Printf.sprintf "cache dir %S: %s; caching disabled" dir msg))
+  | false ->
+    ( None,
+      Some
+        (Printf.sprintf "cache path %S is not a directory; caching disabled"
+           dir) )
+  | true -> (
+    let probe =
+      Filename.concat dir (Printf.sprintf ".probe.%d" (Unix.getpid ()))
+    in
+    match open_out_bin probe with
+    | exception Sys_error msg ->
+      ( None,
+        Some
+          (Printf.sprintf "cache dir %S is not writable (%s); caching disabled"
+             dir msg) )
+    | oc ->
+      close_out_noerr oc;
+      (try Sys.remove probe with Sys_error _ -> ());
+      (Some dir, None))
+
+(* The resolved cache directory is memoized per VSPEC_CACHE_DIR value
+   (not once per process) so tests can repoint it; an unusable
+   directory degrades to cache-off with a single warning per value
+   rather than aborting the suite. *)
+let disk_dir_mu = Mutex.create ()
+let disk_dir_cache : (string, string option) Hashtbl.t = Hashtbl.create 4
+
+let disk_dir () =
+  let env = Sys.getenv_opt "VSPEC_CACHE_DIR" in
+  let key = match env with Some v -> "env:" ^ v | None -> "<unset>" in
+  Mutex.lock disk_dir_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock disk_dir_mu)
+    (fun () ->
+      match Hashtbl.find_opt disk_dir_cache key with
+      | Some dir -> dir
+      | None ->
+        let dir, warning =
+          match env with
+          | Some ("" | "off" | "none" | "0") -> (None, None)
+          | Some dir -> resolve_cache_dir dir
+          | None ->
+            (* Default next to the build artifacts when run from the
+               project root; disabled elsewhere (e.g. sandboxed test
+               runs). *)
+            if (try Sys.is_directory "_build" with Sys_error _ -> false)
+            then resolve_cache_dir (Filename.concat "_build" ".vspec-cache")
+            else (None, None)
+        in
+        (match warning with
+        | Some w -> Printf.eprintf "vspec: warning: %s\n%!" w
+        | None -> ());
+        Hashtbl.add disk_dir_cache key dir;
+        dir)
 
 let digest_key ~kind ~(config : Engine.config) ~iters
     (bench : Workloads.Suite.benchmark) =
@@ -101,45 +153,87 @@ let digest_key ~kind ~(config : Engine.config) ~iters
             string_of_int iters ]))
 
 let disk_path ~kind ~config ~iters bench =
-  match Lazy.force disk_dir with
+  match disk_dir () with
   | None -> None
   | Some dir ->
     Some (Filename.concat dir (digest_key ~kind ~config ~iters bench ^ ".bin"))
 
+(* A cache entry that fails to unmarshal is moved aside as
+   [<digest>.corrupt] so the next run does not trip over it again; the
+   event lands in the ledger as a recovered note. *)
+let quarantine path reason =
+  let dst =
+    (if Filename.check_suffix path ".bin" then Filename.chop_suffix path ".bin"
+     else path)
+    ^ ".corrupt"
+  in
+  (* A concurrent process may have renamed or replaced it already;
+     losing that race is fine. *)
+  (try Sys.rename path dst with Sys_error _ -> ());
+  Support.Fault.Ledger.note ~cell:path
+    (Support.Fault.Cache_corrupt { path; reason })
+
 (* Cross-process safety: loads tolerate missing/corrupt files (they
    just recompute); stores write to a pid-unique temp file and rename,
    so concurrent writers of the same key atomically race to an intact
-   file. *)
+   file.  Only the exceptions a damaged file can actually produce are
+   treated as corruption ([End_of_file], [Failure] from Marshal,
+   [Sys_error] from open) — anything else (Out_of_memory,
+   Stack_overflow, Fault) must propagate. *)
 let disk_load : 'a. kind:string -> config:Engine.config -> iters:int ->
-    Workloads.Suite.benchmark -> 'a option =
- fun ~kind ~config ~iters bench ->
+    attempt:int -> Workloads.Suite.benchmark -> 'a option =
+ fun ~kind ~config ~iters ~attempt bench ->
   match disk_path ~kind ~config ~iters bench with
   | None -> None
   | Some path ->
     if not (Sys.file_exists path) then None
     else begin
-      match open_in_bin path with
-      | exception _ -> None
-      | ic ->
-        let v = try Some (Marshal.from_channel ic) with _ -> None in
-        close_in_noerr ic;
-        v
+      match
+        Support.Fault.Inject.fires ~site:Support.Fault.Inject.Cache_read
+          ~key:path ~attempt
+      with
+      | Some err ->
+        (* An injected read fault is handled like a corrupt entry —
+           note it and recompute — except the (healthy) file stays. *)
+        Support.Fault.Ledger.note ~cell:path err;
+        None
+      | None -> (
+        match open_in_bin path with
+        | exception Sys_error _ -> None
+        | ic -> (
+          match Marshal.from_channel ic with
+          | v ->
+            close_in_noerr ic;
+            Some v
+          | exception (End_of_file | Failure _) ->
+            close_in_noerr ic;
+            quarantine path "corrupt or truncated marshal payload";
+            None))
     end
 
-let disk_store ~kind ~config ~iters bench v =
+let disk_store ~kind ~config ~iters ~attempt bench v =
   match disk_path ~kind ~config ~iters bench with
   | None -> ()
-  | Some path ->
-    (try
-       let tmp =
-         Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
-           (Domain.self () :> int)
-       in
-       let oc = open_out_bin tmp in
-       Marshal.to_channel oc v [];
-       close_out oc;
-       Sys.rename tmp path
-     with _ -> ())
+  | Some path -> (
+    match
+      Support.Fault.Inject.fires ~site:Support.Fault.Inject.Cache_write
+        ~key:path ~attempt
+    with
+    | Some err ->
+      (* Persisting is best-effort; an injected write fault just skips
+         it (the result is already computed and correct). *)
+      Support.Fault.Ledger.note ~cell:path err
+    | None -> (
+      try
+        let tmp =
+          Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+            (Domain.self () :> int)
+        in
+        let oc = open_out_bin tmp in
+        Marshal.to_channel oc v [];
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* Domain-safe memo tables                                             *)
@@ -159,14 +253,54 @@ let disk_hits = Atomic.make 0
 
 let cache_stats () = (Atomic.get simulations, Atomic.get disk_hits)
 
+(* Negative cache: a cell that permanently failed fails fast on every
+   later read instead of re-running its (deterministically failing)
+   simulation; the single entry also makes ledger recording
+   idempotent.  Cleared with the memo tables. *)
+let failed_mu = Mutex.create ()
+let failed : (string, Support.Fault.error * int) Hashtbl.t = Hashtbl.create 16
+
+let record_failure key err attempts =
+  Mutex.lock failed_mu;
+  let fresh = not (Hashtbl.mem failed key) in
+  if fresh then Hashtbl.add failed key (err, attempts);
+  Mutex.unlock failed_mu;
+  if fresh then Support.Fault.Ledger.record ~attempts ~cell:key err
+
+let failure_for key =
+  Mutex.lock failed_mu;
+  let r = Hashtbl.find_opt failed key in
+  Mutex.unlock failed_mu;
+  r
+
 let clear_memo () =
   Support.Pool.Memo.clear cache;
   Support.Pool.Memo.clear calib_cache;
   Support.Pool.Memo.clear ref_cache;
+  Mutex.lock failed_mu;
+  Hashtbl.reset failed;
+  Mutex.unlock failed_mu;
   Atomic.set simulations 0;
   Atomic.set disk_hits 0
 
-let run_cached ?cpu ?iterations:iters ~arch ~seed variant bench =
+(* ------------------------------------------------------------------ *)
+(* Guarded cell execution                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_enabled =
+  lazy
+    (match Sys.getenv_opt "VSPEC_VERIFY" with
+    | Some ("1" | "on" | "true" | "yes") -> true
+    | _ -> false)
+
+(* [run_result] is the one entry point that actually simulates: it
+   checks the negative cache, then computes under single-flight memo
+   semantics with the full containment stack — fault injection at the
+   [sim] site, bounded retries for transient classes, optional checksum
+   verification, ledger recording.  A producer that fails records the
+   failure *before* raising so the memo waiters that get promoted find
+   the negative-cache entry and fail fast instead of re-simulating. *)
+let rec run_result ?cpu ?iterations:iters ~arch ~seed variant bench =
   let iters = match iters with Some i -> i | None -> iterations () in
   let cpu_name =
     match cpu with Some c -> c.Cpu.cfg_name | None -> "default"
@@ -175,40 +309,131 @@ let run_cached ?cpu ?iterations:iters ~arch ~seed variant bench =
     Printf.sprintf "%s|%s|%s|%d|%d|%s" bench.Workloads.Suite.id
       (Arch.name arch) (variant_name variant) seed iters cpu_name
   in
-  Support.Pool.Memo.find_or_compute cache key (fun () ->
-      let config = config_for ?cpu ~arch ~seed variant in
-      match disk_load ~kind:"run" ~config ~iters bench with
-      | Some (r : Harness.result) ->
-        Atomic.incr disk_hits;
-        r
-      | None ->
-        Atomic.incr simulations;
-        let r = Harness.run ~iterations:iters ~config bench in
-        disk_store ~kind:"run" ~config ~iters bench r;
-        r)
+  match failure_for key with
+  | Some (err, _) -> Error err
+  | None -> (
+    try
+      Ok
+        (Support.Pool.Memo.find_or_compute cache key (fun () ->
+             match failure_for key with
+             | Some (err, _) -> raise (Support.Fault.Fault err)
+             | None -> (
+               let config = config_for ?cpu ~arch ~seed variant in
+               match
+                 Support.Fault.guard
+                   ~inject:(Support.Fault.Inject.Sim, key)
+                   (fun ~attempt ->
+                     match disk_load ~kind:"run" ~config ~iters ~attempt bench with
+                     | Some (r : Harness.result) ->
+                       Atomic.incr disk_hits;
+                       r
+                     | None ->
+                       Atomic.incr simulations;
+                       let r = Harness.run ~iterations:iters ~config bench in
+                       verify variant ~cell:key r bench;
+                       disk_store ~kind:"run" ~config ~iters ~attempt bench r;
+                       r)
+               with
+               | Ok r -> r
+               | Error (err, attempts) ->
+                 record_failure key err attempts;
+                 raise (Support.Fault.Fault err))))
+    with Support.Fault.Fault err ->
+      record_failure key err 1;
+      Error err)
 
-let removable_groups ~arch bench =
-  let key = bench.Workloads.Suite.id ^ "|" ^ Arch.name arch in
-  Support.Pool.Memo.find_or_compute calib_cache key (fun () ->
-      let config = config_for ~arch ~seed:1 V_normal in
-      let iters = 60 in
-      match disk_load ~kind:"calib" ~config ~iters bench with
-      | Some (r : Insn.check_group list * Insn.check_group list) ->
-        Atomic.incr disk_hits;
-        r
-      | None ->
-        Atomic.incr simulations;
-        let r = Harness.calibrate_removable ~iterations:iters ~config bench in
-        disk_store ~kind:"calib" ~config ~iters bench r;
-        r)
+(* Checksum verification (opt-in via VSPEC_VERIFY) compares a run
+   against the interpreter-only reference.  Only configurations that
+   preserve semantics are checkable — check-removal and
+   element-trusting variants are *expected* to diverge (paper Fig 10),
+   and the reference cell itself (V_interp_only) must never verify
+   against itself or the memo producer would deadlock on re-entry. *)
+and verify variant ~cell (r : Harness.result) bench =
+  let checkable =
+    match variant with
+    | V_normal | V_baseline | V_turboprop -> true
+    | V_no_checks _ | V_no_branches | V_interp_only | V_smi_ext
+    | V_trust_elements | V_fuse_maps -> false
+  in
+  if checkable && Lazy.force verify_enabled && r.Harness.error = None then begin
+    let expected = reference_checksum bench in
+    let got = r.Harness.checksum in
+    let same = (Float.is_nan expected && Float.is_nan got) || expected = got in
+    if not same then
+      raise
+        (Support.Fault.Fault
+           (Support.Fault.Checksum_mismatch { cell; expected; got }))
+  end
 
-let reference_checksum bench =
+and reference_checksum bench =
   Support.Pool.Memo.find_or_compute ref_cache bench.Workloads.Suite.id
     (fun () ->
-      let r =
-        run_cached ~iterations:3 ~arch:Arch.Arm64 ~seed:1 V_interp_only bench
-      in
-      r.Harness.checksum)
+      match
+        run_result ~iterations:3 ~arch:Arch.Arm64 ~seed:1 V_interp_only bench
+      with
+      | Ok r -> r.Harness.checksum
+      | Error err -> raise (Support.Fault.Fault err))
+
+let run_cached ?cpu ?iterations ~arch ~seed variant bench =
+  match run_result ?cpu ?iterations ~arch ~seed variant bench with
+  | Ok r -> r
+  | Error err -> raise (Support.Fault.Fault err)
+
+let removable_groups_result ~arch bench =
+  let key = bench.Workloads.Suite.id ^ "|" ^ Arch.name arch in
+  match failure_for key with
+  | Some (err, _) -> Error err
+  | None -> (
+    try
+      Ok
+        (Support.Pool.Memo.find_or_compute calib_cache key (fun () ->
+             match failure_for key with
+             | Some (err, _) -> raise (Support.Fault.Fault err)
+             | None -> (
+               let config = config_for ~arch ~seed:1 V_normal in
+               let iters = 60 in
+               match
+                 Support.Fault.guard
+                   ~inject:(Support.Fault.Inject.Sim, key)
+                   (fun ~attempt ->
+                     match
+                       disk_load ~kind:"calib" ~config ~iters ~attempt bench
+                     with
+                     | Some
+                         (r :
+                           Insn.check_group list * Insn.check_group list) ->
+                       Atomic.incr disk_hits;
+                       r
+                     | None ->
+                       Atomic.incr simulations;
+                       let r =
+                         Harness.calibrate_removable ~iterations:iters ~config
+                           bench
+                       in
+                       disk_store ~kind:"calib" ~config ~iters ~attempt bench r;
+                       r)
+               with
+               | Ok r -> r
+               | Error (err, attempts) ->
+                 record_failure key err attempts;
+                 raise (Support.Fault.Fault err))))
+    with Support.Fault.Fault err ->
+      record_failure key err 1;
+      Error err)
+
+let removable_groups ~arch bench =
+  match removable_groups_result ~arch bench with
+  | Ok r -> r
+  | Error err -> raise (Support.Fault.Fault err)
+
+(* Graceful degradation wrapper for figure drivers that touch the
+   engine directly (outside run_cached): a fault degrades the figure —
+   printed inline and ledgered — instead of killing the process. *)
+let degraded name f =
+  try f ()
+  with Support.Fault.Fault err ->
+    Printf.printf "  (%s degraded: %s)\n" name (Support.Fault.describe err);
+    Support.Fault.Ledger.record ~cell:name err
 
 let suite () =
   match Sys.getenv_opt "VSPEC_BENCH" with

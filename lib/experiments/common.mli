@@ -9,7 +9,15 @@
     ([_build/.vspec-cache/] or [VSPEC_CACHE_DIR]; set to [off] to
     disable) keyed by a digest of benchmark source + full engine config
     + iteration count + a cache-format version, so re-runs skip
-    already-simulated cells across processes. *)
+    already-simulated cells across processes.
+
+    Fault containment: every cell computation runs under
+    {!Support.Fault.guard} — transient faults (injected, corrupt cache
+    entries) are retried with backoff; permanent failures land in the
+    {!Support.Fault.Ledger} and in a process-wide negative cache so
+    later reads of the same cell fail fast.  Corrupt disk-cache entries
+    are quarantined as [<digest>.corrupt]; an unusable cache directory
+    degrades to cache-off with a single warning. *)
 
 type variant =
   | V_normal
@@ -33,18 +41,48 @@ val iterations : unit -> int
 val repetitions : unit -> int
 (** Default 5 (paper: 30); override with VSPEC_REPS. *)
 
+val run_result :
+  ?cpu:Cpu.config -> ?iterations:int -> arch:Arch.t -> seed:int ->
+  variant -> Workloads.Suite.benchmark ->
+  (Harness.result, Support.Fault.error) result
+(** Memoized {!Harness.run}: domain-safe, single-flight, disk-backed,
+    fault-contained.  [Error] means the cell permanently failed (after
+    transient retries); the failure is already ledgered and
+    negative-cached, so repeated calls return the same [Error] without
+    re-simulating. *)
+
 val run_cached :
   ?cpu:Cpu.config -> ?iterations:int -> arch:Arch.t -> seed:int ->
   variant -> Workloads.Suite.benchmark -> Harness.result
-(** Memoized {!Harness.run}: domain-safe, single-flight, disk-backed. *)
+(** {!run_result} for callers that handle failure by exception:
+    raises [Support.Fault.Fault] on a failed cell. *)
+
+val removable_groups_result :
+  arch:Arch.t -> Workloads.Suite.benchmark ->
+  (Insn.check_group list * Insn.check_group list, Support.Fault.error) result
+(** Memoized calibration: (removable, leftover/fired), fault-contained
+    like {!run_result}. *)
 
 val removable_groups :
   arch:Arch.t -> Workloads.Suite.benchmark ->
   Insn.check_group list * Insn.check_group list
-(** Memoized calibration: (removable, leftover/fired). *)
+(** Raising variant of {!removable_groups_result}. *)
 
 val reference_checksum : Workloads.Suite.benchmark -> float
-(** Interpreter-only checksum used to validate every configuration. *)
+(** Interpreter-only checksum used to validate every configuration
+    (compared by the opt-in [VSPEC_VERIFY] pass for semantics-preserving
+    variants). *)
+
+val degraded : string -> (unit -> unit) -> unit
+(** [degraded name f] runs [f]; a [Support.Fault.Fault] escaping it is
+    printed as an inline degradation marker and ledgered under [name]
+    instead of killing the process.  For figure drivers that touch the
+    engine directly. *)
+
+val resolve_cache_dir : string -> string option * string option
+(** [(usable_dir, warning)] — create the directory (and parents) and
+    probe writability.  [None, Some w] means the cache must be
+    disabled; exposed for tests. *)
 
 val suite : unit -> Workloads.Suite.benchmark list
 (** The benchmark list, restricted by VSPEC_BENCH (comma-separated ids)
@@ -56,5 +94,5 @@ val cache_stats : unit -> int * int
     from the on-disk cache. *)
 
 val clear_memo : unit -> unit
-(** Drop all in-memory memo entries and reset {!cache_stats} (the disk
-    cache is untouched).  For tests. *)
+(** Drop all in-memory memo entries, the negative failure cache, and
+    reset {!cache_stats} (the disk cache is untouched).  For tests. *)

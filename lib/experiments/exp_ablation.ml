@@ -25,8 +25,14 @@ let elements () =
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
       if target b then begin
-        let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
-        let r2 = Common.run_cached ~arch ~seed:1 Common.V_trust_elements b in
+        match
+          ( Common.run_cached ~arch ~seed:1 Common.V_normal b,
+            Common.run_cached ~arch ~seed:1 Common.V_trust_elements b )
+        with
+        | exception Support.Fault.Fault err ->
+          Support.Table.add_missing_row t ~label:b.Workloads.Suite.id
+            ~reason:(Support.Fault.class_name err)
+        | r1, r2 ->
         if r1.Harness.error = None && r2.Harness.error = None then
           Support.Table.add_row t
             [ b.Workloads.Suite.id;

@@ -35,6 +35,7 @@ let fig10 () =
             let used = ref 0 in
             List.iter
               (fun b ->
+                try
                 (* Branch removal is only meaningful when no check would
                    have fired AND the checksum is intact: a divergent
                    run can be arbitrarily (and meaninglessly) fast. *)
@@ -67,7 +68,10 @@ let fig10 () =
                 acc.(4) <- acc.(4) +. (100.0 *. (share r2 -. share r1));
                 acc.(5) <-
                   acc.(5) +. (r1.Harness.total_cycles /. r2.Harness.total_cycles)
-                end)
+                end
+                with Support.Fault.Fault _ ->
+                  (* Failed cells count like diverged ones: excluded. *)
+                  ())
               benches;
             let n = float_of_int (max 1 !used) in
             Support.Table.add_row t

@@ -23,7 +23,7 @@ let fig1 () =
   let dyn_all = Hashtbl.create 4 in
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
-      let cells =
+      match
         List.concat_map
           (fun arch ->
             let r = Common.run_cached ~arch ~seed:1 Common.V_normal b in
@@ -38,13 +38,17 @@ let fig1 () =
             Hashtbl.replace dyn_all (arch, b.Workloads.Suite.id) dyn;
             [ Printf.sprintf "%.1f" dyn; Printf.sprintf "%.1f" stat ])
           archs
-      in
-      let x64_dyn = Hashtbl.find dyn_all (Arch.X64, b.Workloads.Suite.id) in
-      Support.Table.add_row t
-        ([ b.Workloads.Suite.id;
-           Workloads.Suite.category_name b.Workloads.Suite.category ]
-        @ cells
-        @ [ Support.Table.bar ~width:16 ~max:25.0 x64_dyn ]))
+      with
+      | exception Support.Fault.Fault err ->
+        Support.Table.add_missing_row t ~label:b.Workloads.Suite.id
+          ~reason:(Support.Fault.class_name err)
+      | cells ->
+        let x64_dyn = Hashtbl.find dyn_all (Arch.X64, b.Workloads.Suite.id) in
+        Support.Table.add_row t
+          ([ b.Workloads.Suite.id;
+             Workloads.Suite.category_name b.Workloads.Suite.category ]
+          @ cells
+          @ [ Support.Table.bar ~width:16 ~max:25.0 x64_dyn ]))
     (Common.suite ());
   Support.Table.print t;
   List.iter
@@ -68,8 +72,10 @@ let fig3 () =
   match Workloads.Suite.by_id "SPMV-CSR-SMI" with
   | None -> print_endline "benchmark missing"
   | Some b ->
+    Common.degraded "fig3" @@ fun () ->
     let config = Common.config_for ~arch:Arch.Arm64 ~seed:1 Common.V_normal in
     let eng = Engine.create config b.Workloads.Suite.source in
+    Harness.watchdog eng ~calls:121;
     let _ = Engine.run_main eng in
     for _ = 1 to 120 do
       ignore (Engine.call_global eng "bench" [||])
@@ -120,21 +126,25 @@ let fig4 () =
       in
       List.iter
         (fun (b : Workloads.Suite.benchmark) ->
-          let r = Common.run_cached ~arch ~seed:1 Common.V_normal b in
-          let cells =
-            List.concat_map
-              (fun g ->
-                let freq = Harness.group_freq_per_100 r g in
-                let share =
-                  Harness.group_window_share r g *. Harness.overhead_window r
-                in
-                [ Printf.sprintf "%.1f" freq;
-                  Printf.sprintf "%.1f%%" (100.0 *. share) ])
-              Insn.all_groups
-          in
-          Support.Table.add_row t
-            ([ b.Workloads.Suite.id ] @ cells
-            @ [ Printf.sprintf "%.1f%%" (100.0 *. Harness.overhead_window r) ]))
+          match Common.run_cached ~arch ~seed:1 Common.V_normal b with
+          | exception Support.Fault.Fault err ->
+            Support.Table.add_missing_row t ~label:b.Workloads.Suite.id
+              ~reason:(Support.Fault.class_name err)
+          | r ->
+            let cells =
+              List.concat_map
+                (fun g ->
+                  let freq = Harness.group_freq_per_100 r g in
+                  let share =
+                    Harness.group_window_share r g *. Harness.overhead_window r
+                  in
+                  [ Printf.sprintf "%.1f" freq;
+                    Printf.sprintf "%.1f%%" (100.0 *. share) ])
+                Insn.all_groups
+            in
+            Support.Table.add_row t
+              ([ b.Workloads.Suite.id ] @ cells
+              @ [ Printf.sprintf "%.1f%%" (100.0 *. Harness.overhead_window r) ]))
         (Common.suite ());
       Support.Table.print t)
     archs;
@@ -148,20 +158,26 @@ let fig4 () =
   List.iter
     (fun arch ->
       let pairs =
-        List.map
+        List.filter_map
           (fun b ->
-            let r = Common.run_cached ~arch ~seed:1 Common.V_normal b in
-            (Harness.overhead_window r, Harness.overhead_truth r))
+            match Common.run_cached ~arch ~seed:1 Common.V_normal b with
+            | r -> Some (Harness.overhead_window r, Harness.overhead_truth r)
+            | exception Support.Fault.Fault _ -> None)
           (Common.suite ())
       in
-      let w = Array.of_list (List.map fst pairs) in
-      let tr = Array.of_list (List.map snd pairs) in
-      Support.Table.add_row t2
-        [ Arch.name arch;
-          Support.Table.fmt_pct (Support.Stats.mean w);
-          Support.Table.fmt_pct (Support.Stats.mean tr);
-          (if Array.length w < 2 then "n/a"
-           else Printf.sprintf "%.2f" (Support.Stats.pearson w tr)) ])
+      if pairs = [] then
+        Support.Table.add_missing_row t2 ~label:(Arch.name arch)
+          ~reason:"all cells failed"
+      else begin
+        let w = Array.of_list (List.map fst pairs) in
+        let tr = Array.of_list (List.map snd pairs) in
+        Support.Table.add_row t2
+          [ Arch.name arch;
+            Support.Table.fmt_pct (Support.Stats.mean w);
+            Support.Table.fmt_pct (Support.Stats.mean tr);
+            (if Array.length w < 2 then "n/a"
+             else Printf.sprintf "%.2f" (Support.Stats.pearson w tr)) ]
+      end)
     archs;
   Support.Table.print t2
 
@@ -171,8 +187,10 @@ let fig5 () =
   match Workloads.Suite.by_id "SPMV-CSR-SMI" with
   | None -> print_endline "benchmark missing"
   | Some b ->
+    Common.degraded "fig5" @@ fun () ->
     let config = Common.config_for ~arch:Arch.Arm64 ~seed:1 Common.V_normal in
     let eng = Engine.create config b.Workloads.Suite.source in
+    Harness.watchdog eng ~calls:31;
     let _ = Engine.run_main eng in
     for _ = 1 to 30 do
       ignore (Engine.call_global eng "bench" [||])

@@ -30,8 +30,11 @@ let futurework () =
           Common.run_cached ~cpu:Cpu.o3_kpg ~iterations:iters ~arch:Arch.Arm64
             ~seed:1 variant b
         in
-        let base = run Common.V_smi_ext in
-        let fused = run Common.V_fuse_maps in
+        match (run Common.V_smi_ext, run Common.V_fuse_maps) with
+        | exception Support.Fault.Fault err ->
+          Support.Table.add_missing_row t ~label:b.Workloads.Suite.id
+            ~reason:(Support.Fault.class_name err)
+        | base, fused ->
         if base.Harness.error = None && fused.Harness.error = None
            && base.Harness.checksum = fused.Harness.checksum
         then begin

@@ -12,9 +12,11 @@ let fig11 () =
   match Workloads.Suite.by_id "DP" with
   | None -> print_endline "benchmark missing"
   | Some b ->
+    Common.degraded "fig11" @@ fun () ->
     let listing arch =
       let config = Common.config_for ~arch ~seed:1 Common.V_normal in
       let eng = Engine.create config b.Workloads.Suite.source in
+      Harness.watchdog eng ~calls:31;
       let _ = Engine.run_main eng in
       for _ = 1 to 30 do
         ignore (Engine.call_global eng "bench" [||])
@@ -78,8 +80,10 @@ function bench() {
 }
 |}
   in
+  Common.degraded "fig12" @@ fun () ->
   let config = Common.config_for ~arch:Arch.Arm64 ~seed:1 Common.V_smi_ext in
   let eng = Engine.create config src in
+  Harness.watchdog eng ~calls:24;
   let _ = Engine.run_main eng in
   for _ = 1 to 20 do
     ignore (Engine.call_global eng "bench" [||])
@@ -156,20 +160,30 @@ let fig13 () =
   let instr_deltas = ref [] in
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
-      let row = ref [] in
-      let delta = ref 0.0 in
-      List.iter
-        (fun cpu ->
-          let base, ext, bi, ei = isa_runs b cpu in
-          let sp = Support.Stats.mean base /. Support.Stats.mean ext in
-          all_speedups := sp :: !all_speedups;
-          delta := 100.0 *. (float_of_int ei /. float_of_int bi -. 1.0);
-          row := Support.Table.fmt_speedup sp :: !row)
-        cpus;
-      instr_deltas := !delta :: !instr_deltas;
-      Support.Table.add_row t
-        ((b.Workloads.Suite.id :: List.rev !row)
-        @ [ Printf.sprintf "%+.1f%%" !delta ]))
+      (* Compute every cpu column before touching the accumulators so a
+         failed cell cannot leave a half-filled row behind. *)
+      match List.map (fun cpu -> isa_runs b cpu) cpus with
+      | exception Support.Fault.Fault err ->
+        Support.Table.add_missing_row t ~label:b.Workloads.Suite.id
+          ~reason:(Support.Fault.class_name err)
+      | runs ->
+        let row =
+          List.map
+            (fun (base, ext, _, _) ->
+              let sp = Support.Stats.mean base /. Support.Stats.mean ext in
+              all_speedups := sp :: !all_speedups;
+              Support.Table.fmt_speedup sp)
+            runs
+        in
+        let delta =
+          match List.rev runs with
+          | (_, _, bi, ei) :: _ ->
+            100.0 *. (float_of_int ei /. float_of_int bi -. 1.0)
+          | [] -> 0.0
+        in
+        instr_deltas := delta :: !instr_deltas;
+        Support.Table.add_row t
+          ((b.Workloads.Suite.id :: row) @ [ Printf.sprintf "%+.1f%%" delta ]))
     (smi_benches ());
   Support.Table.print t;
   let sps = Array.of_list !all_speedups in
@@ -198,16 +212,22 @@ let fig14 () =
     (fun (b : Workloads.Suite.benchmark) ->
       List.iter
         (fun cpu ->
-          let base, ext, _, _ = isa_runs b cpu in
-          let fmt xs =
-            let q1, m, q3 = Support.Stats.quartiles xs in
-            Printf.sprintf "%.3f / %.3f / %.3f" (q1 /. 1e6) (m /. 1e6) (q3 /. 1e6)
-          in
-          let _, m1, _ = Support.Stats.quartiles base in
-          let _, m2, _ = Support.Stats.quartiles ext in
-          Support.Table.add_row t
-            [ b.Workloads.Suite.id; cpu.Cpu.cfg_name; fmt base; fmt ext;
-              Printf.sprintf "%+.1f%%" (100.0 *. (m2 /. m1 -. 1.0)) ])
+          match isa_runs b cpu with
+          | exception Support.Fault.Fault err ->
+            Support.Table.add_missing_row t
+              ~label:(b.Workloads.Suite.id ^ " " ^ cpu.Cpu.cfg_name)
+              ~reason:(Support.Fault.class_name err)
+          | base, ext, _, _ ->
+            let fmt xs =
+              let q1, m, q3 = Support.Stats.quartiles xs in
+              Printf.sprintf "%.3f / %.3f / %.3f" (q1 /. 1e6) (m /. 1e6)
+                (q3 /. 1e6)
+            in
+            let _, m1, _ = Support.Stats.quartiles base in
+            let _, m2, _ = Support.Stats.quartiles ext in
+            Support.Table.add_row t
+              [ b.Workloads.Suite.id; cpu.Cpu.cfg_name; fmt base; fmt ext;
+                Printf.sprintf "%+.1f%%" (100.0 *. (m2 /. m1 -. 1.0)) ])
         cpus)
     (smi_benches ());
   Support.Table.print t

@@ -30,8 +30,10 @@ function bench() { return dot(xs, xs, 8) % 16777213; }
 let fig2 () =
   Support.Table.section "Fig 2: compilation pipeline and code representations";
   print_string flowchart;
+  Common.degraded "fig2" @@ fun () ->
   let config = Common.config_for ~arch:Arch.Arm64 ~seed:1 Common.V_normal in
   let eng = Engine.create config sample_source in
+  Harness.watchdog eng ~calls:21;
   let _ = Engine.run_main eng in
   for _ = 1 to 20 do
     ignore (Engine.call_global eng "bench" [||])

@@ -83,9 +83,18 @@ let fig6 () =
   in
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
-      let removable, fired = Common.removable_groups ~arch b in
-      let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
-      let r2 = Common.run_cached ~arch ~seed:1 (Common.V_no_checks removable) b in
+      match
+        let removable, fired = Common.removable_groups ~arch b in
+        let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
+        let r2 =
+          Common.run_cached ~arch ~seed:1 (Common.V_no_checks removable) b
+        in
+        (fired, r1, r2)
+      with
+      | exception Support.Fault.Fault err ->
+        Support.Table.add_missing_row t ~label:b.Workloads.Suite.id
+          ~reason:(Support.Fault.class_name err)
+      | fired, r1, r2 ->
       let steady1 = Harness.steady_state_cycles r1 in
       let steady2 = Harness.steady_state_cycles r2 in
       let diff = if steady1 > 0.0 then 1.0 -. (steady2 /. steady1) else 0.0 in
@@ -119,17 +128,23 @@ let fig6 () =
   Support.Table.print t;
   (* Headline: mean overall time difference (paper: 8 %). *)
   let diffs =
-    List.map
+    List.filter_map
       (fun b ->
-        let removable, _ = Common.removable_groups ~arch b in
-        let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
-        let r2 = Common.run_cached ~arch ~seed:1 (Common.V_no_checks removable) b in
-        1.0 -. (r2.Harness.total_cycles /. r1.Harness.total_cycles))
+        try
+          let removable, _ = Common.removable_groups ~arch b in
+          let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
+          let r2 =
+            Common.run_cached ~arch ~seed:1 (Common.V_no_checks removable) b
+          in
+          Some (1.0 -. (r2.Harness.total_cycles /. r1.Harness.total_cycles))
+        with Support.Fault.Fault _ -> None)
       (Common.suite ())
     |> Array.of_list
   in
-  Printf.printf "mean overall time difference: %.1f%% (paper: 8%%)\n"
-    (100.0 *. Support.Stats.mean diffs)
+  if Array.length diffs > 0 then
+    Printf.printf "mean overall time difference: %.1f%% (paper: 8%%)\n"
+      (100.0 *. Support.Stats.mean diffs)
+  else print_endline "mean overall time difference: n/a (all cells failed)"
 
 let fig7 () =
   Plan.run (all_speedup_cells ());
@@ -150,7 +165,11 @@ let fig7 () =
       let n_practical = ref 0 and n_total = ref 0 in
       List.iter
         (fun b ->
-          let s = speedups_for ~arch b in
+          match speedups_for ~arch b with
+          | exception Support.Fault.Fault err ->
+            Support.Table.add_missing_row t ~label:b.Workloads.Suite.id
+              ~reason:(Support.Fault.class_name err)
+          | s ->
           incr n_total;
           if s.s_sig.Support.Stats.practical then incr n_practical;
           let lo, hi = Support.Stats.ci95_mean s.s_removal in
@@ -192,19 +211,27 @@ let fig8 () =
         let cells =
           List.concat_map
             (fun arch ->
-              let removal =
-                List.map
+              (* Failed cells drop out of the category mean; the cell
+                 reads n/a only when every benchmark of the category
+                 failed. *)
+              let ok =
+                List.filter_map
                   (fun b ->
-                    Support.Stats.mean (speedups_for ~arch b).s_removal)
+                    match speedups_for ~arch b with
+                    | s -> Some s
+                    | exception Support.Fault.Fault _ -> None)
                   benches
-                |> Array.of_list
               in
-              let sampling =
-                List.map (fun b -> (speedups_for ~arch b).s_sampling) benches
-                |> Array.of_list
+              let geo proj =
+                match ok with
+                | [] -> "n/a"
+                | _ ->
+                  Support.Table.fmt_speedup
+                    (Support.Stats.geomean
+                       (Array.of_list (List.map proj ok)))
               in
-              [ Support.Table.fmt_speedup (Support.Stats.geomean removal);
-                Support.Table.fmt_speedup (Support.Stats.geomean sampling) ])
+              [ geo (fun s -> Support.Stats.mean s.s_removal);
+                geo (fun s -> s.s_sampling) ])
             archs
         in
         Support.Table.add_row t (Workloads.Suite.category_name cat :: cells)
@@ -223,10 +250,11 @@ let fig9 () =
   List.iter
     (fun arch ->
       let pts =
-        List.map
+        List.filter_map
           (fun b ->
-            let s = speedups_for ~arch b in
-            (s.s_sampling, Support.Stats.mean s.s_removal))
+            match speedups_for ~arch b with
+            | s -> Some (s.s_sampling, Support.Stats.mean s.s_removal)
+            | exception Support.Fault.Fault _ -> None)
           (Common.suite ())
       in
       let xs = Array.of_list (List.map fst pts) in

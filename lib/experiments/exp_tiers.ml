@@ -25,10 +25,14 @@ let tiers () =
   in
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
-      let interp = run b Common.V_interp_only in
-      let baseline = run b Common.V_baseline in
-      let turboprop = run b Common.V_turboprop in
-      let turbofan = run b Common.V_normal in
+      match
+        ( run b Common.V_interp_only, run b Common.V_baseline,
+          run b Common.V_turboprop, run b Common.V_normal )
+      with
+      | exception Support.Fault.Fault err ->
+        Support.Table.add_missing_row t ~label:b.Workloads.Suite.id
+          ~reason:(Support.Fault.class_name err)
+      | interp, baseline, turboprop, turbofan ->
       let s r = Harness.steady_state_cycles r in
       let base = s turbofan in
       if base > 0.0 then

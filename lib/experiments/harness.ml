@@ -20,6 +20,25 @@ type result = {
 
 let with_seed (cfg : Engine.config) seed = { cfg with Engine.seed }
 
+(* Watchdog fuel: a per-entry (setup or single benchmark iteration)
+   cycle budget, read per run so tests can flip the env var.  The
+   total allowance of a run therefore scales with its iteration count.
+   The default is ~3 orders of magnitude above the costliest legitimate
+   iteration in the suite, so only a genuinely non-terminating code
+   object trips it. *)
+let max_cycles_per_call () =
+  match Sys.getenv_opt "VSPEC_MAX_CYCLES" with
+  | Some ("" | "0" | "off" | "none") -> infinity
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f when f > 0.0 -> f
+    | _ -> 2e8)
+  | None -> 2e8
+
+let watchdog eng ~calls =
+  Cpu.arm_watchdog (Engine.cpu eng)
+    ~cycles:(max_cycles_per_call () *. float_of_int (max 1 calls))
+
 (* Sample attribution over one code object.
 
    Window heuristic (paper Section III-A): every PC sample that lands on
@@ -98,16 +117,23 @@ let run ?(iterations = 300) ~(config : Engine.config) bench =
   let iter_deopts = Array.make iterations 0 in
   let checksum = ref Float.nan in
   let error = ref None in
+  let budget = max_cycles_per_call () in
   (try
+     Cpu.arm_watchdog cpu ~cycles:budget;
      let _ = Engine.run_main eng in
      let i = ref 0 in
      while !i < iterations && !error = None do
        let c0 = Engine.cycles eng in
        let d0 = counters.Perf.deopt_events in
+       Cpu.arm_watchdog cpu ~cycles:budget;
        (try
           let v = Engine.call_global eng "bench" [||] in
           checksum := Heap.number_value h v
         with
+       | Support.Fault.Fault _ as e ->
+         (* Watchdog trips and injected faults are containment events,
+            not divergences: the cell as a whole fails, typed. *)
+         raise e
        | Exec.Machine_fault m -> error := Some ("machine fault: " ^ m)
        | Builtins.Js_error m -> error := Some ("js error: " ^ m)
        | e ->
@@ -121,6 +147,7 @@ let run ?(iterations = 300) ~(config : Engine.config) bench =
        incr i
      done
    with
+  | Support.Fault.Fault _ as e -> raise e
   | Exec.Machine_fault m -> error := Some ("machine fault in setup: " ^ m)
   | Builtins.Js_error m -> error := Some ("js error in setup: " ^ m)
   | Heap.Out_of_memory -> error := Some "out of memory"
@@ -192,12 +219,17 @@ let calibrate_removable ?(iterations = 100) ~config bench =
      groups must keep their checks (paper Section III-B2). *)
   let eng_fired =
     let eng = Engine.create config bench.Workloads.Suite.source in
+    let budget = max_cycles_per_call () in
     (try
+       Cpu.arm_watchdog (Engine.cpu eng) ~cycles:budget;
        let _ = Engine.run_main eng in
        for _ = 1 to iterations do
+         Cpu.arm_watchdog (Engine.cpu eng) ~cycles:budget;
          ignore (Engine.call_global eng "bench" [||])
        done
-     with _ -> ());
+     with
+    | Support.Fault.Fault _ as e -> raise e
+    | _ -> ());
     Engine.deopt_counts eng
   in
   let fired_groups =

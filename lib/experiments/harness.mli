@@ -34,14 +34,27 @@ type result = {
 val run :
   ?iterations:int -> config:Engine.config ->
   Workloads.Suite.benchmark -> result
-(** Default 300 iterations.  Never raises: faults are reported in
-    [error]. *)
+(** Default 300 iterations.  Simulation-level faults (machine faults,
+    JS errors, divergences) are reported in [error]; the only exception
+    that escapes is [Support.Fault.Fault] — watchdog trips and injected
+    faults are containment events owned by the experiment layer. *)
 
 val calibrate_removable :
   ?iterations:int -> config:Engine.config ->
   Workloads.Suite.benchmark -> Insn.check_group list * Insn.check_group list
 (** [(removable, leftover)] — groups safe to remove vs groups whose
-    checks fired during a normal run. *)
+    checks fired during a normal run.  Raises [Support.Fault.Fault] on
+    watchdog trip, like {!run}. *)
+
+val max_cycles_per_call : unit -> float
+(** Watchdog cycle budget per engine entry (setup or one benchmark
+    call): [VSPEC_MAX_CYCLES] if set ("0"/"off"/"none"/"" disables),
+    default 2e8. *)
+
+val watchdog : Engine.t -> calls:int -> unit
+(** Arm the engine's CPU watchdog with [calls] call budgets from now.
+    Figure drivers that drive an engine directly (outside {!run}) use
+    this so runaway code objects still trip [Support.Fault.Runaway]. *)
 
 val overhead_window : result -> float
 (** Fraction of JIT-code samples attributed to checks by the window

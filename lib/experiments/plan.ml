@@ -29,18 +29,24 @@ let needs_calibration c =
   | S_removal | S_calibration_only -> true
   | S_variant _ -> false
 
+let run_spec c variant =
+  match
+    Common.run_result ?cpu:c.c_cpu ?iterations:c.c_iters ~arch:c.c_arch
+      ~seed:c.c_seed variant c.c_bench
+  with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
 let execute c =
   match c.c_spec with
-  | S_calibration_only -> ()
-  | S_variant v ->
-    ignore
-      (Common.run_cached ?cpu:c.c_cpu ?iterations:c.c_iters ~arch:c.c_arch
-         ~seed:c.c_seed v c.c_bench)
-  | S_removal ->
-    let removable, _ = Common.removable_groups ~arch:c.c_arch c.c_bench in
-    ignore
-      (Common.run_cached ?cpu:c.c_cpu ?iterations:c.c_iters ~arch:c.c_arch
-         ~seed:c.c_seed (Common.V_no_checks removable) c.c_bench)
+  | S_calibration_only -> Ok ()
+  | S_variant v -> run_spec c v
+  | S_removal -> (
+    (* A failed calibration short-circuits the removal run: its variant
+       cannot even be named. *)
+    match Common.removable_groups_result ~arch:c.c_arch c.c_bench with
+    | Error e -> Error e
+    | Ok (removable, _) -> run_spec c (Common.V_no_checks removable))
 
 let run ?jobs cells =
   (* Stage 1: calibrations — removal cells cannot know their variant
@@ -57,13 +63,21 @@ let run ?jobs cells =
          cells)
   in
   let by_id id = List.find (fun c -> c.c_bench.Workloads.Suite.id = id) cells in
-  Support.Pool.iter ?jobs
-    (fun (id, arch) ->
-      ignore (Common.removable_groups ~arch (by_id id).c_bench))
-    calib;
+  (* Failed cells are already ledgered and negative-cached by Common;
+     the plan's job is only to keep every *other* cell running, so the
+     per-job results are dropped here and surface when the driver body
+     re-reads the caches. *)
+  ignore
+    (Support.Pool.map_result ?jobs
+       (fun (id, arch) ->
+         match Common.removable_groups_result ~arch (by_id id).c_bench with
+         | Ok _ | Error _ -> ())
+       calib);
   (* Stage 2: everything else. *)
-  Support.Pool.iter ?jobs execute
-    (List.filter (fun c -> c.c_spec <> S_calibration_only) cells)
+  ignore
+    (Support.Pool.map_result ?jobs
+       (fun c -> ignore (execute c))
+       (List.filter (fun c -> c.c_spec <> S_calibration_only) cells))
 
 let result ?cpu ?iters ~arch ~seed variant bench =
   Common.run_cached ?cpu ?iterations:iters ~arch ~seed variant bench

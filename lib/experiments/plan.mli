@@ -36,7 +36,13 @@ val run : ?jobs:int -> cell list -> unit
     fanned out over the pool ([jobs] defaults to
     {!Support.Pool.default_jobs}).  All results land in the {!Common}
     caches; nothing is returned.  Duplicate cells cost nothing (the
-    memo tables single-flight them). *)
+    memo tables single-flight them).
+
+    Fault containment: a failing cell never aborts the plan — the
+    fan-out uses {!Support.Pool.map_result}, so every other cell still
+    runs; the failure is ledgered and negative-cached by {!Common} and
+    surfaces (as a missing figure cell) when the driver body re-reads
+    the caches. *)
 
 val result :
   ?cpu:Cpu.config -> ?iters:int -> arch:Arch.t -> seed:int ->

@@ -14,76 +14,77 @@ let run () =
       ~columns:[ "claim"; "paper"; "measured"; "where" ]
   in
 
+  (* Permanently failed cells drop out of every aggregate below; a
+     metric whose inputs all failed reads n/a instead of killing the
+     whole summary. *)
+  let safe f = List.filter_map (fun b -> try Some (f b) with Support.Fault.Fault _ -> None) suite in
+  let fmt_or_na f xs =
+    match xs with [] -> "n/a (all cells failed)" | _ -> f (Array.of_list xs)
+  in
+
   (* Checks per 100 instructions. *)
   let freqs =
-    List.map
-      (fun b ->
+    safe (fun b ->
         Harness.checks_per_100 (Common.run_cached ~arch ~seed:1 Common.V_normal b))
-      suite
-    |> Array.of_list
   in
   Support.Table.add_row t
     [ "checks per 100 instructions (dynamic)"; "4-5";
-      Printf.sprintf "%.1f" (Support.Stats.mean freqs); "fig1" ];
+      fmt_or_na (fun a -> Printf.sprintf "%.1f" (Support.Stats.mean a)) freqs;
+      "fig1" ];
 
   (* Mean check overhead via removal. *)
   let diffs =
-    List.map
-      (fun b ->
+    safe (fun b ->
         let removable, _ = Common.removable_groups ~arch b in
         let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
         let r2 =
           Common.run_cached ~arch ~seed:1 (Common.V_no_checks removable) b
         in
         1.0 -. (r2.Harness.total_cycles /. r1.Harness.total_cycles))
-      suite
-    |> Array.of_list
   in
   Support.Table.add_row t
     [ "mean check overhead (removal method)"; "8%";
-      Support.Table.fmt_pct (Support.Stats.mean diffs); "fig6/7" ];
+      fmt_or_na (fun a -> Support.Table.fmt_pct (Support.Stats.mean a)) diffs;
+      "fig6/7" ];
 
   (* Sampling-method overhead. *)
   let ovhs =
-    List.map
-      (fun b ->
+    safe (fun b ->
         Harness.overhead_window
           (Common.run_cached ~arch ~seed:1 Common.V_normal b))
-      suite
-    |> Array.of_list
   in
   Support.Table.add_row t
     [ "mean check overhead (PC sampling)"; "5-7%";
-      Support.Table.fmt_pct (Support.Stats.mean ovhs); "fig4" ];
+      fmt_or_na (fun a -> Support.Table.fmt_pct (Support.Stats.mean a)) ovhs;
+      "fig4" ];
 
   (* Branch-only removal. *)
   let br_deltas, sp_deltas =
     List.split
       (List.filter_map
          (fun b ->
-           let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
-           let r2 = Common.run_cached ~arch ~seed:1 Common.V_no_branches b in
-           (* Branch removal alters semantics on deopting benchmarks;
-              skip runs that diverged (the paper's Fig 10 caveat). *)
-           let _, fired = Common.removable_groups ~arch b in
-           if
-             fired <> [] || r1.Harness.error <> None
-             || r2.Harness.error <> None
-             || r1.Harness.checksum <> r2.Harness.checksum
-           then None
-           else begin
-             let br =
-               100.0
-               *. (float_of_int r2.Harness.counters.Perf.branches
-                   /. float_of_int (max 1 r1.Harness.counters.Perf.branches)
-                  -. 1.0)
-             in
-             Some (br, r1.Harness.total_cycles /. r2.Harness.total_cycles)
-           end)
+           try
+             let r1 = Common.run_cached ~arch ~seed:1 Common.V_normal b in
+             let r2 = Common.run_cached ~arch ~seed:1 Common.V_no_branches b in
+             (* Branch removal alters semantics on deopting benchmarks;
+                skip runs that diverged (the paper's Fig 10 caveat). *)
+             let _, fired = Common.removable_groups ~arch b in
+             if
+               fired <> [] || r1.Harness.error <> None
+               || r2.Harness.error <> None
+               || r1.Harness.checksum <> r2.Harness.checksum
+             then None
+             else begin
+               let br =
+                 100.0
+                 *. (float_of_int r2.Harness.counters.Perf.branches
+                     /. float_of_int (max 1 r1.Harness.counters.Perf.branches)
+                    -. 1.0)
+               in
+               Some (br, r1.Harness.total_cycles /. r2.Harness.total_cycles)
+             end
+           with Support.Fault.Fault _ -> None)
          suite)
-  in
-  let fmt_or_na f xs =
-    match xs with [] -> "n/a (all runs diverged)" | _ -> f (Array.of_list xs)
   in
   Support.Table.add_row t
     [ "branch reduction from removing deopt branches"; "-20%";
@@ -103,12 +104,14 @@ let run () =
   let early = ref 0 and total = ref 0 in
   List.iter
     (fun b ->
-      let r = Common.run_cached ~arch ~seed:1 Common.V_normal b in
-      Array.iteri
-        (fun i d ->
-          total := !total + d;
-          if i < 10 then early := !early + d)
-        r.Harness.iter_deopts)
+      match Common.run_cached ~arch ~seed:1 Common.V_normal b with
+      | exception Support.Fault.Fault _ -> ()
+      | r ->
+        Array.iteri
+          (fun i d ->
+            total := !total + d;
+            if i < 10 then early := !early + d)
+          r.Harness.iter_deopts)
     suite;
   Support.Table.add_row t
     [ "deopt events in the first 10 iterations"; "most";
@@ -120,17 +123,21 @@ let run () =
   let ratios =
     List.filter_map
       (fun b ->
-        let r = Common.run_cached ~arch ~seed:1 Common.V_normal b in
-        let steady = Harness.steady_state_cycles r in
-        if steady > 0.0 && Array.length r.Harness.iter_cycles > 0 then
-          Some (r.Harness.iter_cycles.(0) /. steady)
-        else None)
+        try
+          let r = Common.run_cached ~arch ~seed:1 Common.V_normal b in
+          let steady = Harness.steady_state_cycles r in
+          if steady > 0.0 && Array.length r.Harness.iter_cycles > 0 then
+            Some (r.Harness.iter_cycles.(0) /. steady)
+          else None
+        with Support.Fault.Fault _ -> None)
       suite
-    |> Array.of_list
   in
   Support.Table.add_row t
     [ "first iteration (interpreted) vs steady state"; "2.5x";
-      Printf.sprintf "%.1fx" (Support.Stats.mean ratios); "fig6" ];
+      fmt_or_na
+        (fun a -> Printf.sprintf "%.1fx" (Support.Stats.mean a))
+        ratios;
+      "fig6" ];
   Support.Table.print t;
   print_endline
     "See EXPERIMENTS.md for the scale discussion: the subset engine's\n\

@@ -230,14 +230,38 @@ let class_match negated ranges c =
   let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
   inside <> negated
 
+(* Backtracking bail-out budget.  Exhausting it is a watchdog event
+   (the search will not terminate in useful time), so it goes through
+   the structured fault taxonomy rather than the parse-error exception;
+   the harness and pool layers classify and contain it like any other
+   runaway simulation. *)
+let default_step_limit = 2_000_000
+
+let env_step_limit =
+  lazy
+    (match Sys.getenv_opt "VSPEC_REGEX_STEPS" with
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n > 0 -> n
+      | _ -> default_step_limit)
+    | None -> default_step_limit)
+
+let limit_override = ref None
+let set_step_limit n = limit_override := if n > 0 then Some n else None
+let step_limit () =
+  match !limit_override with Some n -> n | None -> Lazy.force env_step_limit
+
 (* CPS backtracking matcher. *)
 let exec re s from =
   let n = String.length s in
   let caps = Array.make (re.n_groups + 1) None in
   let steps = ref 0 in
+  let limit = step_limit () in
   let rec match_seq nodes i (k : int -> bool) =
     incr steps;
-    if !steps > 2_000_000 then raise (Regex_error "backtracking limit exceeded");
+    if !steps > limit then
+      Support.Fault.runaway ~what:("regex:" ^ re.src)
+        ~limit:(float_of_int limit);
     match nodes with
     | [] -> k i
     | node :: rest -> match_node node i (fun j -> match_seq rest j k)

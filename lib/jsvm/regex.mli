@@ -24,7 +24,20 @@ type match_result = {
 }
 
 val exec : compiled -> string -> int -> match_result option
-(** [exec re s from] finds the first match at or after [from]. *)
+(** [exec re s from] finds the first match at or after [from].
+
+    A search that exceeds the backtracking step budget raises
+    [Support.Fault.Fault (Runaway _)] (a typed watchdog event, handled
+    by the experiment fault-containment layer) — pathological patterns
+    cannot hang a worker domain.  [Regex_error] is reserved for parse
+    errors from {!compile}. *)
+
+val step_limit : unit -> int
+(** Current backtracking budget: {!set_step_limit} override if any,
+    else [VSPEC_REGEX_STEPS] (default 2,000,000). *)
+
+val set_step_limit : int -> unit
+(** Override the budget ([n <= 0] clears the override).  For tests. *)
 
 val test : compiled -> string -> bool
 

@@ -130,6 +130,7 @@ type clock = {
   mutable now : float;
   mutable high : float;
   mutable flags_ready : float;
+  mutable fuel_limit : float;  (* watchdog ceiling on [now]; infinity = off *)
   inv_width : float;
   rob_slack : float;
   mispredict_penalty : float;
@@ -163,6 +164,7 @@ let create ?sampler cfg =
         now = 0.0;
         high = 0.0;
         flags_ready = 0.0;
+        fuel_limit = infinity;
         inv_width = 1.0 /. float_of_int cfg.width;
         rob_slack = cfg.rob_slack;
         mispredict_penalty = cfg.mispredict_penalty;
@@ -188,6 +190,13 @@ let reset t =
   Perf.reset_counters t.counters
 
 let cycles t = t.clk.high
+
+(* Watchdog: the ceiling is an absolute point on the dispatch clock, so
+   arming is a plain store and the engines' per-instruction check is a
+   single float compare.  [reset] deliberately leaves it alone — it is
+   enforcement policy, not timing state. *)
+let arm_watchdog t ~cycles = t.clk.fuel_limit <- t.clk.now +. cycles
+let disarm_watchdog t = t.clk.fuel_limit <- infinity
 
 let latency cfg = function
   | C_alu -> cfg.lat_alu

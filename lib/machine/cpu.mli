@@ -76,6 +76,10 @@ type clock = {
   mutable now : float;          (** dispatch pointer, cycles *)
   mutable high : float;         (** max completion time = elapsed cycles *)
   mutable flags_ready : float;
+  mutable fuel_limit : float;
+      (** watchdog ceiling on [now]; the executors raise
+          [Support.Fault.Fault (Runaway _)] when exceeded.  [infinity]
+          (the default) disarms the watchdog. *)
   inv_width : float;
   rob_slack : float;
   mispredict_penalty : float;
@@ -102,6 +106,15 @@ val reset : t -> unit
 (** Clears timing state and counters but keeps cache/predictor warmth. *)
 
 val cycles : t -> float
+
+val arm_watchdog : t -> cycles:float -> unit
+(** Set the watchdog fuel ceiling to [cycles] simulated cycles from the
+    current dispatch point.  Both execution engines check it once per
+    retired instruction and raise [Support.Fault.Fault (Runaway _)]
+    when it is exceeded, so a non-terminating code object cannot hang
+    its domain.  Arming is cheap; re-arm per benchmark call. *)
+
+val disarm_watchdog : t -> unit
 
 (** {1 Per-instruction hooks (called by the executor)} *)
 

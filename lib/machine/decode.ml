@@ -959,6 +959,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
   let addrs = p.p_addrs in
   let pcs = p.p_pcs and checks = p.p_checks in
   let counters = st.counters in
+  let clk = st.clk in
   cpu.Cpu.cur_code <- p.p_code_id;
   (* Every next-index a micro-op can return is within [0, count]
      (straight-line successors and decode-resolved branch targets), and
@@ -968,6 +969,8 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
   | Some _ ->
     let i = ref 0 in
     while !i >= 0 do
+      if clk.Cpu.now > clk.Cpu.fuel_limit then
+        Support.Fault.runaway ~what:code.Code.name ~limit:clk.Cpu.fuel_limit;
       let k = !i in
       (* Shared per-instruction prologue, all constants pre-resolved:
          exactly the direct engine's fetch/sample/count/check
@@ -989,6 +992,8 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
        per-instruction [cur_pc] update is dead and skipped. *)
     let i = ref 0 in
     while !i >= 0 do
+      if clk.Cpu.now > clk.Cpu.fuel_limit then
+        Support.Fault.runaway ~what:code.Code.name ~limit:clk.Cpu.fuel_limit;
       let k = !i in
       let addr = Array.unsafe_get addrs k in
       Cpu.fetch_line cpu ~addr ~line:(addr lsr 4);

@@ -160,8 +160,11 @@ let run_direct (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
 
   let pc = ref 0 in
   let result = ref None in
+  let clk = cpu.Cpu.clk in
   (try
      while !result = None do
+       if clk.Cpu.now > clk.Cpu.fuel_limit then
+         Support.Fault.runaway ~what:code.Code.name ~limit:clk.Cpu.fuel_limit;
        if !pc >= n_insns then fault "%s: fell off code end" code.Code.name;
        let i = insns.(!pc) in
        let k = i.Insn.kind in

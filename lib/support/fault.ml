@@ -1,0 +1,264 @@
+(* Structured fault taxonomy, deterministic fault injection, bounded
+   retries, and the process-wide failure ledger.  See INTERNALS.md
+   "Failure handling". *)
+
+type exn_info = { exn_name : string; exn_msg : string }
+
+type error =
+  | Runaway of { what : string; limit : float }
+  | Checksum_mismatch of { cell : string; expected : float; got : float }
+  | Cache_corrupt of { path : string; reason : string }
+  | Worker_crash of exn_info
+  | Injected of { site : string; key : string }
+
+exception Fault of error
+
+type severity = Transient | Permanent
+
+(* Simulations are deterministic, so a crash or a runaway reproduces on
+   every retry: retrying them only burns time.  Injected faults model
+   environmental flakes and corrupt cache entries disappear once
+   quarantined, so those two classes are worth another attempt. *)
+let classify = function
+  | Injected _ | Cache_corrupt _ -> Transient
+  | Runaway _ | Checksum_mismatch _ | Worker_crash _ -> Permanent
+
+let is_transient e = classify e = Transient
+
+let class_name = function
+  | Runaway _ -> "runaway"
+  | Checksum_mismatch _ -> "checksum-mismatch"
+  | Cache_corrupt _ -> "cache-corrupt"
+  | Worker_crash _ -> "worker-crash"
+  | Injected _ -> "injected"
+
+let describe = function
+  | Runaway { what; limit } ->
+    Printf.sprintf "runaway: %s exceeded the %.0f-cycle watchdog budget" what
+      limit
+  | Checksum_mismatch { cell; expected; got } ->
+    Printf.sprintf "checksum mismatch: %s expected %g, got %g" cell expected
+      got
+  | Cache_corrupt { path; reason } ->
+    Printf.sprintf "corrupt cache entry %s (%s)" path reason
+  | Worker_crash { exn_name; exn_msg } ->
+    Printf.sprintf "worker crash: %s (%s)" exn_name exn_msg
+  | Injected { site; key } ->
+    Printf.sprintf "injected fault at %s (%s)" site key
+
+let of_exn = function
+  | Fault e -> e
+  | e ->
+    Worker_crash
+      { exn_name = Printexc.exn_slot_name e; exn_msg = Printexc.to_string e }
+
+let runaway ~what ~limit = raise (Fault (Runaway { what; limit }))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic seeded fault injection                                *)
+(* ------------------------------------------------------------------ *)
+
+module Inject = struct
+  type site = Cache_read | Cache_write | Worker | Sim
+
+  let site_name = function
+    | Cache_read -> "cache-read"
+    | Cache_write -> "cache-write"
+    | Worker -> "worker"
+    | Sim -> "sim"
+
+  let site_of_string = function
+    | "cache-read" -> Cache_read
+    | "cache-write" -> Cache_write
+    | "worker" -> Worker
+    | "sim" -> Sim
+    | s -> invalid_arg (Printf.sprintf "VSPEC_FAULTS: unknown site %S" s)
+
+  type rule = {
+    r_site : site;
+    r_rate : float;
+    r_seed : int;
+    r_key_filter : string option;  (* substring of the fault key *)
+  }
+
+  let rec parse_rule s =
+    match String.split_on_char ':' (String.trim s) with
+    | [ site; rate; seed ] | [ site; rate; seed; "" ] ->
+      { r_site = site_of_string site;
+        r_rate =
+          (match float_of_string_opt rate with
+          | Some r when r >= 0.0 && r <= 1.0 -> r
+          | _ -> invalid_arg ("VSPEC_FAULTS: bad rate " ^ rate));
+        r_seed =
+          (match int_of_string_opt seed with
+          | Some n -> n
+          | None -> invalid_arg ("VSPEC_FAULTS: bad seed " ^ seed));
+        r_key_filter = None }
+    | [ site; rate; seed; filter ] ->
+      { (parse_rule (String.concat ":" [ site; rate; seed ])) with
+        r_key_filter = Some filter }
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "VSPEC_FAULTS: expected site:rate:seed[:key], got %S" s)
+
+  let parse_spec s =
+    if String.trim s = "" then []
+    else List.map parse_rule (String.split_on_char ',' s)
+
+  (* [None] = not yet resolved from the environment.  [set_spec]
+     overrides (tests); the resolved list is immutable thereafter until
+     the next override, so concurrent readers are safe. *)
+  let rules : rule list option ref = ref None
+
+  let set_spec s = rules := Some (parse_spec s)
+
+  let current () =
+    match !rules with
+    | Some rs -> rs
+    | None ->
+      let rs =
+        match Sys.getenv_opt "VSPEC_FAULTS" with
+        | None | Some "" -> []
+        | Some s -> parse_spec s
+      in
+      rules := Some rs;
+      rs
+
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+
+  (* The injection decision is a pure hash of (seed, site, key,
+     attempt): independent of domain scheduling and evaluation order,
+     so injected runs are reproducible, and retries of the same key
+     re-roll (the attempt is part of the hash), so transient injection
+     below rate 1 eventually clears. *)
+  let decision ~seed ~site ~key ~attempt =
+    let d =
+      Digest.string
+        (Printf.sprintf "vspec-fault|%d|%s|%s|%d" seed (site_name site) key
+           attempt)
+    in
+    let x = ref 0 in
+    for i = 0 to 5 do
+      x := (!x lsl 8) lor Char.code d.[i]
+    done;
+    float_of_int !x /. 281474976710656.0 (* / 2^48 -> uniform [0, 1) *)
+
+  let fires ~site ~key ~attempt =
+    let rec scan = function
+      | [] -> None
+      | r :: rest ->
+        if
+          r.r_site = site
+          && (match r.r_key_filter with
+             | None -> true
+             | Some f -> contains ~sub:f key)
+          && decision ~seed:r.r_seed ~site ~key ~attempt < r.r_rate
+        then Some (Injected { site = site_name site; key })
+        else scan rest
+    in
+    match current () with [] -> None | rs -> scan rs
+
+  let check ~site ~key ~attempt =
+    match fires ~site ~key ~attempt with
+    | None -> ()
+    | Some e -> raise (Fault e)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Retry policy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (
+    match int_of_string_opt v with Some i when i >= 0 -> i | _ -> default)
+  | None -> default
+
+let max_retries () = env_int "VSPEC_RETRIES" 2
+
+let backoff_cap = 0.050 (* seconds *)
+
+let backoff attempt =
+  let base = float_of_int (env_int "VSPEC_RETRY_BACKOFF_MS" 1) /. 1000.0 in
+  let d = Float.min backoff_cap (base *. (2.0 ** float_of_int attempt)) in
+  if d > 0.0 then Unix.sleepf d
+
+let guard ?retries ?inject f =
+  let retries = match retries with Some r -> max 0 r | None -> max_retries () in
+  let rec go attempt =
+    let outcome =
+      match
+        (match inject with
+        | Some (site, key) -> Inject.check ~site ~key ~attempt
+        | None -> ());
+        f ~attempt
+      with
+      | v -> Ok v
+      | exception e -> Error (of_exn e)
+    in
+    match outcome with
+    | Ok v -> Ok v
+    | Error e when is_transient e && attempt < retries ->
+      backoff attempt;
+      go (attempt + 1)
+    | Error e -> Error (e, attempt + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide failure ledger                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Ledger = struct
+  type entry = {
+    cell : string;
+    err : error;
+    attempts : int;
+    permanent : bool;
+  }
+
+  let mu = Mutex.create ()
+  let items : entry list ref = ref []
+
+  let record ?(attempts = 1) ?(permanent = true) ~cell err =
+    Mutex.lock mu;
+    items := { cell; err; attempts; permanent } :: !items;
+    Mutex.unlock mu
+
+  let note ~cell err = record ~permanent:false ~cell err
+
+  let entries () =
+    Mutex.lock mu;
+    let es = List.rev !items in
+    Mutex.unlock mu;
+    es
+
+  let permanent_count () =
+    List.length (List.filter (fun e -> e.permanent) (entries ()))
+
+  let clear () =
+    Mutex.lock mu;
+    items := [];
+    Mutex.unlock mu
+
+  let exit_code () = if permanent_count () > 0 then 1 else 0
+
+  let report oc =
+    let es = entries () in
+    if es <> [] then begin
+      let perm = List.filter (fun e -> e.permanent) es in
+      Printf.fprintf oc
+        "[vspec] failure ledger: %d permanent failure(s), %d recovered/noted\n"
+        (List.length perm)
+        (List.length es - List.length perm);
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "  %s cell %s: %s (attempts=%d) -- %s\n"
+            (if e.permanent then "FAILED " else "note   ")
+            e.cell (class_name e.err) e.attempts (describe e.err))
+        es
+    end
+end

@@ -11,6 +11,19 @@ let add_row t row =
     invalid_arg "Table.add_row: cell count mismatch";
   t.rows <- row :: t.rows
 
+let add_missing_row t ~label ~reason =
+  let n = List.length t.columns in
+  let row =
+    match n with
+    | 0 -> []
+    | 1 -> [ label ]
+    | _ ->
+      label
+      :: Printf.sprintf "(missing: %s)" reason
+      :: List.init (n - 2) (fun _ -> "-")
+  in
+  t.rows <- row :: t.rows
+
 (* Display width: count UTF-8 code points, not bytes, so bar glyphs align. *)
 let display_width s =
   let n = ref 0 in

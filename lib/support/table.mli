@@ -11,6 +11,12 @@ val create : title:string -> columns:string list -> t
 val add_row : t -> string list -> unit
 (** Rows must have as many cells as there are columns. *)
 
+val add_missing_row : t -> label:string -> reason:string -> unit
+(** Degraded-cell row: [label] in the first column, ["(missing:
+    reason)"] in the second, ["-"] padding for the rest.  Used when a
+    simulation cell failed permanently and the figure renders without
+    it. *)
+
 val render : t -> string
 (** Box-drawn table with the title on top. *)
 

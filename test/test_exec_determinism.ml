@@ -91,6 +91,30 @@ let test_smi_ext_cell () =
   check_cell ~expect_deopts:true ~arch:Arch.Arm64 ~seed:1
     Experiments.Common.V_smi_ext deopting_bench
 
+let test_injection_transparent () =
+  (* Transient fault injection at a fixed seed, absorbed by retries,
+     must leave results bit-identical to a clean run: the injector
+     lives entirely outside the simulated machine. *)
+  let digest_of () =
+    Experiments.Common.clear_memo ();
+    digest
+      (Experiments.Common.run_cached ~iterations:10 ~arch:Arch.Arm64 ~seed:1
+         Experiments.Common.V_normal (bench "DP"))
+  in
+  let clean = digest_of () in
+  Support.Fault.Inject.set_spec
+    "sim:0.5:11,worker:0.5:11,cache-read:0.7:11,cache-write:0.7:11";
+  Unix.putenv "VSPEC_RETRIES" "8";
+  Fun.protect
+    ~finally:(fun () ->
+      Support.Fault.Inject.set_spec "";
+      Unix.putenv "VSPEC_RETRIES" "";
+      Experiments.Common.clear_memo ();
+      Support.Fault.Ledger.clear ())
+    (fun () ->
+      Alcotest.(check string) "injected run digests equal to clean run" clean
+        (digest_of ()))
+
 let suite =
   [
     ( "exec-determinism",
@@ -100,5 +124,7 @@ let suite =
         Alcotest.test_case "deopting benchmark" `Quick test_deopting_cells;
         Alcotest.test_case "check-removal variant" `Quick test_removal_cells;
         Alcotest.test_case "smi-ext variant" `Quick test_smi_ext_cell;
+        Alcotest.test_case "fault injection is transparent" `Quick
+          test_injection_transparent;
       ] );
   ]

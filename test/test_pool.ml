@@ -107,6 +107,37 @@ let test_memo_failure_releases_key () =
   Alcotest.(check (option int)) "now published" (Some 7)
     (Support.Pool.Memo.find_opt m "k")
 
+let test_memo_failure_multi_domain () =
+  (* A producer that dies while other domains are parked on its key
+     must release the key: exactly one caller sees the crash, every
+     other caller re-runs the compute and gets the value. *)
+  let m : (string, int) Support.Pool.Memo.t = Support.Pool.Memo.create 4 in
+  let attempts = Atomic.make 0 in
+  let compute () =
+    let n = Atomic.fetch_and_add attempts 1 in
+    (* Hold the key long enough for the other domains to pile up. *)
+    Unix.sleepf 0.01;
+    if n = 0 then failwith "producer dies" else 99
+  in
+  let rs =
+    Support.Pool.map_result ~jobs:4 ~retries:0
+      (fun _ -> Support.Pool.Memo.find_or_compute m "k" compute)
+      (List.init 8 Fun.id)
+  in
+  let crashed, ok =
+    List.partition (function Error _ -> true | Ok _ -> false) rs
+  in
+  Alcotest.(check int) "exactly one caller crashes" 1 (List.length crashed);
+  (match crashed with
+  | [ Error (Support.Fault.Worker_crash _) ] -> ()
+  | _ -> Alcotest.fail "crash must classify as Worker_crash");
+  Alcotest.(check (list int)) "survivors all get the recomputed value"
+    (List.init 7 (fun _ -> 99))
+    (List.map (function Ok v -> v | Error _ -> -1) ok);
+  Alcotest.(check int) "recomputed exactly once after the failure" 2
+    (Atomic.get attempts);
+  Alcotest.(check int) "one published entry" 1 (Support.Pool.Memo.length m)
+
 let test_memo_distinct_keys () =
   let m : (int, int) Support.Pool.Memo.t = Support.Pool.Memo.create 16 in
   let rs =
@@ -137,6 +168,8 @@ let suite =
       [
         Alcotest.test_case "single flight" `Quick test_memo_single_flight;
         Alcotest.test_case "failure releases key" `Quick test_memo_failure_releases_key;
+        Alcotest.test_case "failure releases key (multi-domain)" `Quick
+          test_memo_failure_multi_domain;
         Alcotest.test_case "distinct keys" `Quick test_memo_distinct_keys;
       ] );
   ]

@@ -23,7 +23,10 @@ bench:
 bench-exec:
 	dune exec bench/main.exe -- --exec
 
-# Determinism gate + exec micro-benchmarks (no report files written).
+# Determinism + decode gates, then a fresh exec micro-benchmark run
+# checked against the committed BENCH_exec.json by bench/guard.exe
+# (speedup tolerance VSPEC_PERF_TOLERANCE, default 10%; plus the
+# committed fusion-coverage floor).
 perf:
 	dune build @perf
 

@@ -99,11 +99,14 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 (* Execution-engine micro-benchmarks (`--exec`, `make bench-exec`)     *)
 (*                                                                     *)
-(* Three synthetic code objects stress the three hot shapes of JIT     *)
-(* code — pure ALU dependency chains, load/store traffic, and          *)
-(* deopt-check sequences — and run them through both executors,        *)
-(* reporting simulated-instructions-per-second and the decoded/direct  *)
-(* speedup.  Results go to BENCH_exec.json.                            *)
+(* Five synthetic code objects stress the hot shapes of JIT code —     *)
+(* pure ALU dependency chains, load/store traffic, deopt-check         *)
+(* sequences, and the two fusion-targeted patterns (check+branch       *)
+(* pairs, load+untag pairs) — and run them through both executors,     *)
+(* reporting simulated-instructions-per-second, the decoded/direct     *)
+(* speedup, and the decoded engine's fusion coverage.  Results go to   *)
+(* BENCH_exec.json; bench/guard.ml compares a fresh run against the    *)
+(* committed file.                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let exec_iters = 2000
@@ -179,14 +182,60 @@ let exec_codes () =
                  add ~dst:2 ~src:2 (Insn.Imm 2) ]))
       @ loop_tail)
   in
-  [ ("alu", alu); ("loads", loads); ("checks", checks) ]
+  let checkbr =
+    (* Check+branch-heavy: four tst/deopt_if pairs and the loop's
+       cmp/b.cond back to back, all on one i-cache line, so every
+       check in the loop body fuses into a single dispatch slot. *)
+    let deopts =
+      [| { Code.dp_id = 0; reason = Insn.Not_a_smi; bc_pc = 0; frame = [||];
+           accumulator = Code.Fv_dead } |]
+    in
+    let cprov role = Insn.Check { group = Insn.G_not_smi; role } in
+    mk ~deopts
+      ([ i (Insn.Mov (0, Insn.Imm 0));
+         i (Insn.Mov (2, Insn.Imm 2)) (* even: Tst.Ne never fires *);
+         i (Insn.Label 0) ]
+      @ List.concat
+          (List.init 4 (fun _ ->
+               [ Insn.make ~prov:(cprov Insn.Role_condition)
+                   (Insn.Tst (2, Insn.Imm 1));
+                 Insn.make ~prov:(cprov Insn.Role_branch)
+                   (Insn.Deopt_if (Insn.Ne, 0)) ]))
+      @ loop_tail)
+  in
+  let smiload =
+    (* Load+untag-heavy: four ldr/asr pairs per iteration — the
+       software shape the ARM64 [jsldrsmi] extension fuses in
+       hardware, fused in the decoded engine's dispatch instead. *)
+    mk
+      ([ i (Insn.Mov (0, Insn.Imm 0));
+         i (Insn.Mov (1, Insn.Imm 16)) (* word 8 *);
+         i (Insn.Mov (2, Insn.Imm 0));
+         i (Insn.Label 0) ]
+      @ List.concat
+          (List.init 4 (fun k ->
+               [ i (Insn.Ldr (3 + k, Insn.mk_addr ~offset:(2 * k) 1));
+                 i (Insn.Alu { op = Insn.Asr; dst = 3 + k; src = 3 + k;
+                               rhs = Insn.Imm 1; set_flags = false }) ]))
+      @ loop_tail)
+  in
+  [ ("alu", alu); ("loads", loads); ("checks", checks);
+    ("checkbr", checkbr); ("smiload", smiload) ]
 
 let exec_reps () =
   match Sys.getenv_opt "VSPEC_EXEC_REPS" with
   | Some s -> (try max 1 (int_of_string s) with _ -> 60)
   | None -> 60
 
-let measure_exec run code =
+type exec_meas = {
+  m_rate : float;  (* simulated instructions / host second *)
+  m_insns : int;  (* simulated instructions retired in the timed reps *)
+  m_fused : int;  (* of which retired inside fused pairs *)
+  m_by_kind : int array;  (* fused-pair executions per Perf fuse kind *)
+  m_blocks : int;  (* block-granular counter charges taken *)
+}
+
+let measure_exec ?(decoded = false) run code =
   let cpu = Cpu.create Cpu.fast_arm64 in
   let host =
     { Exec.memory = Array.make 64 0;
@@ -194,22 +243,46 @@ let measure_exec run code =
       call_js = (fun _ _ -> 0) }
   in
   let reps = exec_reps () in
-  (* Warmup: decode (if applicable), caches, predictor. *)
+  (* Warm the decode cache explicitly, then one untimed run warms the
+     memory hierarchy and predictor — the timed region measures steady
+     dispatch, not one-time decode cost. *)
+  if decoded then Decode.warm code;
   ignore (run cpu ~host ~code ~args:[||]);
   let insns0 = cpu.Cpu.counters.Perf.jit_instructions in
+  let fs = cpu.Cpu.fstats in
+  let fused0 = fs.Perf.fused_retired in
+  let kind0 = Array.copy fs.Perf.fused_by_kind in
+  let blocks0 = fs.Perf.batched_blocks in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to reps do
     ignore (run cpu ~host ~code ~args:[||])
   done;
   let dt = Unix.gettimeofday () -. t0 in
   let insns = cpu.Cpu.counters.Perf.jit_instructions - insns0 in
-  float_of_int insns /. (if dt > 0.0 then dt else 1e-9)
+  {
+    m_rate = float_of_int insns /. (if dt > 0.0 then dt else 1e-9);
+    m_insns = insns;
+    m_fused = fs.Perf.fused_retired - fused0;
+    m_by_kind = Array.mapi (fun k v -> v - kind0.(k)) fs.Perf.fused_by_kind;
+    m_blocks = fs.Perf.batched_blocks - blocks0;
+  }
 
 let exec_report_path () =
   match Sys.getenv_opt "VSPEC_EXEC_BENCH_OUT" with
   | Some ("off" | "none" | "0") -> None
   | Some "" | None -> Some "BENCH_exec.json"
   | Some p -> Some p
+
+(* Committed floor on the suite's fused-retired coverage, checked by
+   bench/guard.ml against every fresh run.  The measured suite-wide
+   coverage sits around 45–50%; anything under the floor means the
+   fusion pass stopped matching the hot patterns.  (Coverage is a
+   ratio of simulated-instruction counts, so it is deterministic —
+   the floor guards against decode regressions, not host noise.) *)
+let fusion_floor_pct = 50.0
+
+let pct part whole =
+  if whole <= 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
 
 let run_exec_bench () =
   Support.Table.section
@@ -218,37 +291,61 @@ let run_exec_bench () =
     List.map
       (fun (name, code) ->
         let direct = measure_exec Exec.run_direct code in
-        let decoded = measure_exec Decode.run code in
-        (name, direct, decoded, decoded /. direct))
+        let decoded = measure_exec ~decoded:true Decode.run code in
+        (name, direct, decoded, decoded.m_rate /. direct.m_rate))
       (exec_codes ())
   in
   let t =
     Support.Table.create ~title:"pre-decoded engine vs direct interpreter"
-      ~columns:[ "bench"; "direct Mi/s"; "decoded Mi/s"; "speedup" ]
+      ~columns:[ "bench"; "direct Mi/s"; "decoded Mi/s"; "speedup"; "fused%" ]
   in
   List.iter
     (fun (name, direct, decoded, speedup) ->
       Support.Table.add_row t
         [ name;
-          Printf.sprintf "%.1f" (direct /. 1e6);
-          Printf.sprintf "%.1f" (decoded /. 1e6);
-          Printf.sprintf "%.2fx" speedup ])
+          Printf.sprintf "%.1f" (direct.m_rate /. 1e6);
+          Printf.sprintf "%.1f" (decoded.m_rate /. 1e6);
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%.1f" (pct decoded.m_fused decoded.m_insns) ])
     rows;
   Support.Table.print t;
+  let suite_insns =
+    List.fold_left (fun a (_, _, d, _) -> a + d.m_insns) 0 rows
+  in
+  let suite_fused =
+    List.fold_left (fun a (_, _, d, _) -> a + d.m_fused) 0 rows
+  in
+  Printf.printf "suite fused-retired coverage: %.1f%% (floor %.1f%%)\n"
+    (pct suite_fused suite_insns) fusion_floor_pct;
   match exec_report_path () with
   | None -> ()
   | Some path ->
-    let buf = Buffer.create 512 in
+    let buf = Buffer.create 1024 in
     Buffer.add_string buf
-      (Printf.sprintf "{\n  \"reps\": %d,\n  \"iters\": %d,\n  \"benches\": [\n"
+      (Printf.sprintf "{\n  \"reps\": %d,\n  \"iters\": %d,\n"
          (exec_reps ()) exec_iters);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"suite_fused_retired_pct\": %.1f,\n  \"fusion_floor_pct\": %.1f,\n\
+         \  \"benches\": [\n"
+         (pct suite_fused suite_insns) fusion_floor_pct);
     List.iteri
       (fun idx (name, direct, decoded, speedup) ->
+        let pairs =
+          String.concat ", "
+            (List.init Perf.num_fuse_kinds (fun k ->
+                 Printf.sprintf "%S: %d" (Perf.fuse_kind_name k)
+                   decoded.m_by_kind.(k)))
+        in
         Buffer.add_string buf
           (Printf.sprintf
              "    {\"bench\": %S, \"direct_insns_per_sec\": %.0f, \
-              \"decoded_insns_per_sec\": %.0f, \"speedup\": %.3f}%s\n"
-             name direct decoded speedup
+              \"decoded_insns_per_sec\": %.0f, \"speedup\": %.3f, \
+              \"fused_retired_pct\": %.1f, \"blocks\": %d, \
+              \"fused_pairs\": {%s}}%s\n"
+             name direct.m_rate decoded.m_rate speedup
+             (pct decoded.m_fused decoded.m_insns)
+             decoded.m_blocks pairs
              (if idx = List.length rows - 1 then "" else ",")))
       rows;
     Buffer.add_string buf "  ]\n}\n";

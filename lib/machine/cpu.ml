@@ -147,6 +147,7 @@ type t = {
   freg_ready : float array;
   mutable last_iline : int;
   counters : Perf.counters;
+  fstats : Perf.fusion;
   sampler : Perf.sampler option;
   mutable cur_code : int;   (* attribution target for the PC sampler *)
   mutable cur_pc : int;
@@ -175,6 +176,7 @@ let create ?sampler cfg =
     freg_ready = Array.make Insn.num_fp_regs 0.0;
     last_iline = -1;
     counters = Perf.create_counters ();
+    fstats = Perf.create_fusion ();
     sampler;
     cur_code = Perf.runtime_code_id;
     cur_pc = 0;
@@ -187,7 +189,8 @@ let reset t =
   Array.fill t.freg_ready 0 (Array.length t.freg_ready) 0.0;
   t.clk.flags_ready <- 0.0;
   t.last_iline <- -1;
-  Perf.reset_counters t.counters
+  Perf.reset_counters t.counters;
+  Perf.reset_fusion t.fstats
 
 let cycles t = t.clk.high
 

@@ -96,6 +96,10 @@ type t = {
   freg_ready : float array;
   mutable last_iline : int;
   counters : Perf.counters;
+  fstats : Perf.fusion;
+      (** fusion/batching coverage of the pre-decoded engine; stays
+          all-zero under the direct interpreter.  Not part of digested
+          results (see {!Perf.fusion}). *)
   sampler : Perf.sampler option;
   mutable cur_code : int;   (** attribution target for the PC sampler *)
   mutable cur_pc : int;
@@ -115,6 +119,12 @@ val arm_watchdog : t -> cycles:float -> unit
     its domain.  Arming is cheap; re-arm per benchmark call. *)
 
 val disarm_watchdog : t -> unit
+
+val latency : config -> insn_class -> float
+(** Static class latency used by {!issue}.  Exposed so the pre-decoded
+    executor's local (non-counting) issue paths can reproduce {!issue}'s
+    float arithmetic exactly while batching the integer retirement
+    counters per basic block. *)
 
 (** {1 Per-instruction hooks (called by the executor)} *)
 

@@ -1,13 +1,21 @@
-(* Pre-decoded threaded-code execution engine.
+(* Pre-decoded threaded-code execution engine with superinstruction
+   fusion and block-batched accounting.
 
    [compile] lowers a [Code.t] once into a flat array of micro-op
    closures: operand indexes, effective-address components, latency
    classes, check provenance, branch targets, fetch addresses and
-   cache-line numbers are all resolved at decode time, so the dispatch
-   loop is a single indirect call per retired instruction instead of
-   the direct interpreter's per-instruction [match] over [Insn.kind].
+   cache-line numbers are all resolved at decode time.  A peephole
+   fusion pass then pairs hot adjacent micro-ops (compare + deopt
+   branch, compare + b.cond, load + untag shift — the software
+   [jsldrsmi] analogue — and disjoint ALU chains) into single fused
+   closures, and a batching pass precomputes each straight-line
+   block's aggregate static counter cost so the dispatch loop charges
+   one integer update per block instead of per instruction; only
+   dynamic events (branch resolution, memory hierarchy, sampler
+   windows, watchdog fuel) are modeled individually.
    Pseudo-instructions (labels, checkpoints) are compiled away and
-   branch targets are remapped onto the compacted micro-op array.
+   branch targets are remapped onto the compacted dispatch-slot array.
+   VSPEC_FUSE=0 / VSPEC_BATCH=0 disable either pass.
 
    The program is cached on the code object itself
    ([Code.decode_cache]); recompilation allocates a fresh [Code.t], so
@@ -81,7 +89,11 @@ type st = {
   clk : Cpu.clock; (* = cpu.clk, cached to save an indirection *)
   inorder : bool; (* = cpu.cfg.inorder *)
   sampler : Perf.sampler option; (* = cpu.sampler *)
+  sampling : bool; (* = sampler <> None; read by fused micro-ops *)
+  bp : Predictor.t; (* = cpu.bp, hoisted out of the per-branch path *)
   counters : Perf.counters;
+  fstats : Perf.fusion;
+  binc : int; (* 1 when block batching is on: blocks charged per entry *)
   regs : int array;
   fregs : float array;
   slots : int array;
@@ -104,26 +116,104 @@ type st = {
    the next micro-op, or -1 after setting [st.outcome]. *)
 type uop = st -> int
 
-(* The compiled form: one closure per non-pseudo instruction plus flat
-   side arrays of decode-time constants consumed by the dispatch loop's
-   shared prologue (fetch address, instruction-cache line, original
-   instruction index for sampler attribution, packed check-provenance
-   descriptor). *)
+(* Static integer-counter cost of a run of micro-ops.  One record per
+   basic block is charged at block entry; the same shape describes the
+   refund applied when a block exits early (mid-block deopt bailout or
+   machine fault), so the committed counters equal the direct
+   interpreter's exactly on every path.  Only order-independent integer
+   counters can be batched like this: all float state (clock, stall
+   accumulators) is non-associative and stays per-instruction. *)
+type delta = {
+  d_instr : int;
+  d_jit : int;
+  d_loads : int;
+  d_stores : int;
+  d_branches : int;
+  d_chk : int;
+  d_chkbr : int;
+  d_groups : int array; (* length 6; the shared all-zero array if empty *)
+  d_fused : int array; (* per Perf fuse kind; shared zeros if empty *)
+  d_fused_retired : int;
+}
+
+let zeros6 = Array.make 6 0
+let zerosf = Array.make Perf.num_fuse_kinds 0
+
+let no_delta =
+  {
+    d_instr = 0;
+    d_jit = 0;
+    d_loads = 0;
+    d_stores = 0;
+    d_branches = 0;
+    d_chk = 0;
+    d_chkbr = 0;
+    d_groups = zeros6;
+    d_fused = zerosf;
+    d_fused_retired = 0;
+  }
+
+(* Decode-time static coverage of one compiled program. *)
+type stats = {
+  st_uops : int;
+  st_slots : int; (* dispatch slots = uops - fused pairs (+1 sentinel) *)
+  st_blocks : int;
+  st_fused : int array; (* static fused pairs per Perf fuse kind *)
+}
+
+(* The compiled form: one closure per dispatch slot (a single
+   instruction or a fused pair) plus flat side arrays of decode-time
+   constants consumed by the dispatch loop's shared prologue (fetch
+   address or -1 when the i-cache line provably cannot have changed,
+   original instruction index for sampler attribution, basic-block id
+   at block-leader slots with its batched counter delta, and a
+   machine-fault refund per slot). *)
 type program = {
   p_name : string;
   p_code_id : int;
   p_uops : uop array;
-      (* [length = micro-ops + 1]: the last slot is a sentinel that
-         faults on falling off the code end, so the dispatch loop needs
-         no per-instruction bounds check (every next-index is in range
-         by construction). *)
-  p_addrs : int array;
+      (* [length = slots + 1]: the last slot is a sentinel that faults
+         on falling off the code end, so the dispatch loop needs no
+         per-slot bounds check (every next-index is in range by
+         construction). *)
+  p_addrs : int array; (* fetch address, or -1 = statically elided *)
   p_pcs : int array;
-  p_checks : int array;
-      (* 0 = not a check; else (group_index + 1) lor (16 if deopt branch) *)
+  p_blocks : int array; (* block id at block-leader slots, else -1 *)
+  p_deltas : delta array; (* per block id: batched static cost *)
+  p_faults : delta array;
+      (* per slot: refund when a Machine_fault escapes this slot *)
+  p_fuse : bool;
+  p_batch : bool; (* flags the program was compiled under *)
+  p_stats : stats;
 }
 
 type Code.cache += Decoded of program
+
+(* ------------------------------------------------------------------ *)
+(* Engine configuration: VSPEC_FUSE / VSPEC_BATCH escape hatches       *)
+(* (mirroring VSPEC_EXEC=direct) plus programmatic overrides for the   *)
+(* determinism tests.  [get] recompiles when a cached program was      *)
+(* built under different flags, so toggling mid-process is safe.       *)
+(* ------------------------------------------------------------------ *)
+
+let env_flag name =
+  lazy
+    (match Sys.getenv_opt name with
+    | Some ("0" | "off" | "no" | "false") -> false
+    | Some _ | None -> true)
+
+let env_fuse = env_flag "VSPEC_FUSE"
+let env_batch = env_flag "VSPEC_BATCH"
+let fuse_override : bool option ref = ref None
+let batch_override : bool option ref = ref None
+let set_fuse o = fuse_override := o
+let set_batch o = batch_override := o
+
+let fuse_enabled () =
+  match !fuse_override with Some b -> b | None -> Lazy.force env_fuse
+
+let batch_enabled () =
+  match !batch_override with Some b -> b | None -> Lazy.force env_batch
 
 (* Ready times are completion timestamps: always finite, never NaN and
    never negative, so a branchy max is exactly [Float.max] without the
@@ -142,9 +232,12 @@ let[@inline] tset st r (v : float) = Array.unsafe_set st.rr r v
    the state cached in [st] (clock, counters, in-order bit, sampler)
    and fused with the latency class resolved at decode time, so the
    hot micro-ops pay no [Cpu.issue] call chain, no per-instruction
-   latency lookup and no re-derivation through [Cpu.t].  Same
+   latency lookup and no re-derivation through [Cpu.t].  Same float
    arithmetic in the same order as [Cpu.issue]* — bit-identical timing
-   and counters (enforced by the exec-determinism suite). *)
+   (enforced by the exec-determinism suite).  Unlike [Cpu.issue]*,
+   these do NOT bump the static integer counters (instructions, loads,
+   stores, branches): those are precomputed per basic block at decode
+   time and charged once at block entry by [charge] below. *)
 let[@inline] disp st ~ready =
   let c = st.clk in
   let d = c.Cpu.now in
@@ -166,8 +259,6 @@ let[@inline] disp st ~ready =
       c.Cpu.now <- c.Cpu.now +. push
     end
   end;
-  let cnt = st.counters in
-  cnt.Perf.instructions <- cnt.Perf.instructions + 1;
   start
 
 let[@inline] fin st complete =
@@ -185,26 +276,28 @@ let[@inline] issue_alu st ~ready =
   let start = disp st ~ready in
   fin st (start +. st.clk.Cpu.clk_lat_alu)
 
+(* The general-class issue: the latency table lookup [Cpu.issue] does,
+   minus its retirement counting. *)
+let[@inline] issue_cls st ~cls ~ready =
+  let start = disp st ~ready in
+  fin st (start +. Cpu.latency st.cpu.Cpu.cfg cls)
+
 let[@inline] issue_load st ~ready ~addr =
   let start = disp st ~ready in
-  st.counters.Perf.loads <- st.counters.Perf.loads + 1;
   let lat = float_of_int (Cache.data_latency st.cpu.Cpu.hier addr) in
   fin st (start +. lat)
 
 let[@inline] issue_store st ~ready ~addr =
   let start = disp st ~ready in
-  st.counters.Perf.stores <- st.counters.Perf.stores + 1;
   ignore (Cache.access st.cpu.Cpu.hier.Cache.l1d addr);
   fin st (start +. 1.0)
 
 let[@inline] issue_branch st ~pc ~ready ~taken =
-  let cpu = st.cpu in
   let start = disp st ~ready in
   let complete = start +. 1.0 in
   let c = st.counters in
-  c.Perf.branches <- c.Perf.branches + 1;
   if taken then c.Perf.taken_branches <- c.Perf.taken_branches + 1;
-  let correct = Predictor.predict_and_update cpu.Cpu.bp ~pc ~taken in
+  let correct = Predictor.predict_and_update st.bp ~pc ~taken in
   let clk = st.clk in
   if not correct then begin
     c.Perf.mispredicts <- c.Perf.mispredicts + 1;
@@ -221,6 +314,79 @@ let[@inline] issue_branch st ~pc ~ready ~taken =
     c.Perf.frontend_stall <- c.Perf.frontend_stall +. bubble
   end;
   ignore (fin st complete)
+
+(* Batched accounting: one static-counter update per basic-block entry
+   (or per slot when batching is off — the deltas then describe single
+   slots).  Integer adds only; commutes with everything the micro-op
+   bodies do, so charging at entry instead of per retired instruction
+   is invisible in the final counters. *)
+let charge st (d : delta) =
+  let c = st.counters in
+  c.Perf.instructions <- c.Perf.instructions + d.d_instr;
+  c.Perf.jit_instructions <- c.Perf.jit_instructions + d.d_jit;
+  c.Perf.loads <- c.Perf.loads + d.d_loads;
+  c.Perf.stores <- c.Perf.stores + d.d_stores;
+  c.Perf.branches <- c.Perf.branches + d.d_branches;
+  if d.d_chk <> 0 then begin
+    c.Perf.check_instructions <- c.Perf.check_instructions + d.d_chk;
+    c.Perf.check_branches <- c.Perf.check_branches + d.d_chkbr;
+    let g = d.d_groups in
+    if g != zeros6 then begin
+      let pg = c.Perf.check_per_group in
+      for gi = 0 to 5 do
+        let v = Array.unsafe_get g gi in
+        if v <> 0 then Array.unsafe_set pg gi (Array.unsafe_get pg gi + v)
+      done
+    end
+  end;
+  let fs = st.fstats in
+  fs.Perf.batched_blocks <- fs.Perf.batched_blocks + st.binc;
+  if d.d_fused_retired <> 0 then begin
+    fs.Perf.fused_retired <- fs.Perf.fused_retired + d.d_fused_retired;
+    let f = d.d_fused in
+    let pf = fs.Perf.fused_by_kind in
+    for fi = 0 to Perf.num_fuse_kinds - 1 do
+      let v = Array.unsafe_get f fi in
+      if v <> 0 then Array.unsafe_set pf fi (Array.unsafe_get pf fi + v)
+    done
+  end
+
+(* Exact inverse of the unexecuted suffix of a block, applied on the
+   cold early-exit paths (deopt bailouts, machine faults) so batched
+   counters match what the direct interpreter actually retired.
+   [batched_blocks] is a charge-event count, not a per-instruction
+   counter, so it is deliberately not refunded. *)
+let refund st (d : delta) =
+  if d != no_delta then begin
+    let c = st.counters in
+    c.Perf.instructions <- c.Perf.instructions - d.d_instr;
+    c.Perf.jit_instructions <- c.Perf.jit_instructions - d.d_jit;
+    c.Perf.loads <- c.Perf.loads - d.d_loads;
+    c.Perf.stores <- c.Perf.stores - d.d_stores;
+    c.Perf.branches <- c.Perf.branches - d.d_branches;
+    if d.d_chk <> 0 then begin
+      c.Perf.check_instructions <- c.Perf.check_instructions - d.d_chk;
+      c.Perf.check_branches <- c.Perf.check_branches - d.d_chkbr;
+      let g = d.d_groups in
+      if g != zeros6 then begin
+        let pg = c.Perf.check_per_group in
+        for gi = 0 to 5 do
+          let v = Array.unsafe_get g gi in
+          if v <> 0 then Array.unsafe_set pg gi (Array.unsafe_get pg gi - v)
+        done
+      end
+    end;
+    if d.d_fused_retired <> 0 then begin
+      let fs = st.fstats in
+      fs.Perf.fused_retired <- fs.Perf.fused_retired - d.d_fused_retired;
+      let f = d.d_fused in
+      let pf = fs.Perf.fused_by_kind in
+      for fi = 0 to Perf.num_fuse_kinds - 1 do
+        let v = Array.unsafe_get f fi in
+        if v <> 0 then Array.unsafe_set pf fi (Array.unsafe_get pf fi - v)
+      done
+    end
+  end
 
 let[@inline] mem_index st name a =
   if a land 1 <> 0 then fault "%s: unaligned address %d" name a;
@@ -323,10 +489,53 @@ let set_alu_flags st op a b raw =
     set_logic_flags st raw
 
 (* ------------------------------------------------------------------ *)
+(* Superinstruction fusion                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-cycle C_alu operators; Mul/Sdiv/Smod have their own latency
+   classes and are never fused. *)
+let simple_alu = function
+  | Insn.Add | Insn.Sub | Insn.And | Insn.Orr | Insn.Eor | Insn.Lsl
+  | Insn.Lsr | Insn.Asr ->
+    true
+  | Insn.Mul | Insn.Sdiv | Insn.Smod -> false
+
+(* Peephole classifier: which fused micro-op (if any) covers the
+   adjacent pair [k1; k2]?  Returns a [Perf] fuse-kind index or -1.
+   The caller has already established that [k2] is not a branch target
+   and that both instructions share an i-cache fetch line (so skipping
+   the intra-pair fetch is provably a no-op).
+
+   The patterns are the hot shapes the paper's measurements point at:
+   the compare feeding a conditional deopt branch (every eager check),
+   compare + conditional branch (loop back-edges and bounds checks
+   lowered as branches), load + untag shift (the software analogue of
+   the [jsldrsmi] extension's fused untagging), and ALU chains on
+   disjoint registers (straight-line arithmetic between checks). *)
+let fuse_kind_of k1 k2 =
+  match (k1, k2) with
+  | (Insn.Cmp _ | Insn.Tst _), Insn.Deopt_if _ -> Perf.f_check_deopt
+  | (Insn.Cmp _ | Insn.Tst _), Insn.Bcond _ -> Perf.f_cmp_bcond
+  | ( Insn.Ldr (d, _),
+      Insn.Alu { op; dst = _; src; rhs = Insn.Imm _; set_flags = false } )
+    when (op = Insn.Asr || op = Insn.Lsr) && src = d ->
+    Perf.f_load_untag
+  | ( Insn.Alu { op = o1; dst = d1; src = _; rhs = rhs1; set_flags = false },
+      Insn.Alu { op = o2; dst = d2; src = s2; rhs = rhs2; set_flags = false } )
+    when simple_alu o1 && simple_alu o2
+         && (match rhs1 with Insn.Reg _ | Insn.Imm _ -> true)
+         && d1 <> d2 && s2 <> d1
+         && (match rhs2 with Insn.Reg r -> r <> d1 | Insn.Imm _ -> true) ->
+    Perf.f_alu_alu
+  | _ -> -1
+
+(* ------------------------------------------------------------------ *)
 (* Decode                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let compile (code : Code.t) : program =
+  let fuse = fuse_enabled () in
+  let batch = batch_enabled () in
   let insns = code.Code.insns in
   let n = Array.length insns in
   let name = code.Code.name in
@@ -342,7 +551,246 @@ let compile (code : Code.t) : program =
     if not (Insn.is_pseudo insns.(i).Insn.kind) then incr count
   done;
   uop_of_insn.(n) <- !count;
-  let target l = uop_of_insn.(code.Code.label_index.(l)) in
+  let n_uops = !count in
+  let insn_of_uop = Array.make (max 1 n_uops) 0 in
+  for i = n - 1 downto 0 do
+    if not (Insn.is_pseudo insns.(i).Insn.kind) then
+      insn_of_uop.(uop_of_insn.(i)) <- i
+  done;
+  let utarget l = uop_of_insn.(code.Code.label_index.(l)) in
+  let ku u = insns.(insn_of_uop.(u)).Insn.kind in
+  let uline u = (base + insn_of_uop.(u)) lsr 4 in
+
+  (* ---- basic-block leaders (micro-op space) ----
+     A leader starts a straight-line block: entry, every branch target,
+     and the fall-through successor of every block terminator (B, Bcond,
+     Call, Ret).  Bcond terminates its block on purpose: loop back-edges
+     are hot-taken, and ending the block there keeps the taken path free
+     of batched-counter refunds.  Deopt_if / Js_ldr_smi / Js_chk_map
+     stay mid-block — their exits are cold by construction and pay an
+     exact refund instead.  The sentinel index [n_uops] is a leader so
+     branches to trailing pseudos resolve. *)
+  let leader = Array.make (n_uops + 1) false in
+  leader.(0) <- true;
+  leader.(n_uops) <- true;
+  for u = 0 to n_uops - 1 do
+    match ku u with
+    | Insn.B l | Insn.Bcond (_, l) ->
+      leader.(utarget l) <- true;
+      leader.(u + 1) <- true
+    | Insn.Call _ | Insn.Ret -> leader.(u + 1) <- true
+    | _ -> ()
+  done;
+
+  (* ---- fusion pass: assign micro-ops to dispatch slots ----
+     Greedy adjacent pairing within a block.  A pair never absorbs a
+     leader (branches must be able to land on the second instruction)
+     and never crosses an i-cache fetch line (so the intra-pair fetch
+     is provably redundant). *)
+  let slot_of_uop = Array.make (n_uops + 1) 0 in
+  let slot_first_uop = Array.make (max 1 n_uops) 0 in
+  let slot_kind = Array.make (max 1 n_uops) (-1) in
+  let slot_firstb = Array.make (n_uops + 1) false in
+  let n_slots = ref 0 in
+  let u = ref 0 in
+  while !u < n_uops do
+    let s = !n_slots in
+    slot_of_uop.(!u) <- s;
+    slot_first_uop.(s) <- !u;
+    slot_firstb.(!u) <- true;
+    let fk =
+      if
+        fuse
+        && !u + 1 < n_uops
+        && (not leader.(!u + 1))
+        && uline !u = uline (!u + 1)
+      then fuse_kind_of (ku !u) (ku (!u + 1))
+      else -1
+    in
+    slot_kind.(s) <- fk;
+    if fk >= 0 then begin
+      slot_of_uop.(!u + 1) <- s;
+      u := !u + 2
+    end
+    else incr u;
+    incr n_slots
+  done;
+  let n_slots = !n_slots in
+  slot_of_uop.(n_uops) <- n_slots;
+  slot_firstb.(n_uops) <- true;
+  let starget l = slot_of_uop.(utarget l) in
+
+  (* ---- static per-uop accounting ----
+     What the direct interpreter's loop and issue paths add to the
+     integer counters for one retired instruction: always one
+     jit_instruction; one retired instruction unless Nop (which never
+     issues); loads/stores/branches by issue path; check provenance
+     from [Insn.prov].  Fused-pair coverage counters ride on the
+     SECOND uop of each pair so a machine fault in the first half
+     refunds the whole pair. *)
+  let du_instr = Array.make (max 1 n_uops) 1 in
+  let du_loads = Array.make (max 1 n_uops) 0 in
+  let du_stores = Array.make (max 1 n_uops) 0 in
+  let du_branches = Array.make (max 1 n_uops) 0 in
+  let du_chk = Array.make (max 1 n_uops) 0 in
+  let du_chkbr = Array.make (max 1 n_uops) 0 in
+  let du_grp = Array.make (max 1 n_uops) (-1) in
+  let du_fusedk = Array.make (max 1 n_uops) (-1) in
+  for u = 0 to n_uops - 1 do
+    let insn = insns.(insn_of_uop.(u)) in
+    (match insn.Insn.kind with
+    | Insn.Nop -> du_instr.(u) <- 0
+    | Insn.Ldr _ | Insn.Ldr_f _ | Insn.Alu_mem _ | Insn.Cmp_mem _
+    | Insn.Js_ldr_smi _ | Insn.Js_chk_map _ ->
+      du_loads.(u) <- 1
+    | Insn.Str _ | Insn.Str_f _ -> du_stores.(u) <- 1
+    | Insn.B _ | Insn.Bcond _ | Insn.Deopt_if _ | Insn.Ret ->
+      du_branches.(u) <- 1
+    | _ -> ());
+    match insn.Insn.prov with
+    | Insn.Check { group; _ } ->
+      du_chk.(u) <- 1;
+      du_grp.(u) <- Insn.group_index group;
+      (match insn.Insn.kind with
+      | Insn.Deopt_if _ -> du_chkbr.(u) <- 1
+      | _ -> ())
+    | Insn.Main_line | Insn.Shared -> ()
+  done;
+  for s = 0 to n_slots - 1 do
+    if slot_kind.(s) >= 0 then
+      du_fusedk.(slot_first_uop.(s) + 1) <- slot_kind.(s)
+  done;
+
+  (* ---- accounting blocks and their batched deltas ----
+     With batching on, an accounting block is a control-flow block;
+     with batching off every slot is its own block, which keeps one
+     loop shape for all four engine configurations while restoring
+     per-slot charging. *)
+  let block_start u = if batch then leader.(u) else slot_firstb.(u) in
+  let n_blocks = ref 0 in
+  for u = 0 to n_uops - 1 do
+    if block_start u then incr n_blocks
+  done;
+  let n_blocks = !n_blocks in
+  let block_lo = Array.make (max 1 n_blocks) 0 in
+  let block_of_uop = Array.make (max 1 n_uops) 0 in
+  let blk = ref (-1) in
+  for u = 0 to n_uops - 1 do
+    if block_start u then begin
+      incr blk;
+      block_lo.(!blk) <- u
+    end;
+    block_of_uop.(u) <- !blk
+  done;
+  let block_hi b =
+    if b + 1 < n_blocks then block_lo.(b + 1) - 1 else n_uops - 1
+  in
+  let g_scratch = Array.make 6 0 in
+  let f_scratch = Array.make Perf.num_fuse_kinds 0 in
+  let p_deltas = Array.make (max 1 n_blocks) no_delta in
+  for b = 0 to n_blocks - 1 do
+    let lo = block_lo.(b) and hi = block_hi b in
+    let ai = ref 0
+    and al = ref 0
+    and asr_ = ref 0
+    and ab = ref 0
+    and ac = ref 0
+    and acb = ref 0
+    and afr = ref 0 in
+    Array.fill g_scratch 0 6 0;
+    Array.fill f_scratch 0 Perf.num_fuse_kinds 0;
+    let any_g = ref false and any_f = ref false in
+    for u = lo to hi do
+      ai := !ai + du_instr.(u);
+      al := !al + du_loads.(u);
+      asr_ := !asr_ + du_stores.(u);
+      ab := !ab + du_branches.(u);
+      ac := !ac + du_chk.(u);
+      acb := !acb + du_chkbr.(u);
+      let g = du_grp.(u) in
+      if g >= 0 then begin
+        g_scratch.(g) <- g_scratch.(g) + 1;
+        any_g := true
+      end;
+      let fk = du_fusedk.(u) in
+      if fk >= 0 then begin
+        f_scratch.(fk) <- f_scratch.(fk) + 1;
+        afr := !afr + 2;
+        any_f := true
+      end
+    done;
+    p_deltas.(b) <-
+      {
+        d_instr = !ai;
+        d_jit = hi - lo + 1;
+        d_loads = !al;
+        d_stores = !asr_;
+        d_branches = !ab;
+        d_chk = !ac;
+        d_chkbr = !acb;
+        d_groups = (if !any_g then Array.copy g_scratch else zeros6);
+        d_fused = (if !any_f then Array.copy f_scratch else zerosf);
+        d_fused_retired = !afr;
+      }
+  done;
+
+  (* ---- early-exit refunds ----
+     [refund_at.(u)] is the static cost of the block suffix strictly
+     AFTER micro-op [u]: exactly what the block-entry charge
+     over-counted if execution leaves the block right after [u]
+     retires (deopt taken) or while [u] itself executes (machine
+     fault; the direct engine has fully charged the faulting
+     instruction by then, since its issue precedes the memory
+     access). *)
+  let refund_at = Array.make (n_uops + 1) no_delta in
+  for b = 0 to n_blocks - 1 do
+    let lo = block_lo.(b) and hi = block_hi b in
+    let ai = ref 0
+    and aj = ref 0
+    and al = ref 0
+    and asr_ = ref 0
+    and ab = ref 0
+    and ac = ref 0
+    and acb = ref 0
+    and afr = ref 0 in
+    Array.fill g_scratch 0 6 0;
+    Array.fill f_scratch 0 Perf.num_fuse_kinds 0;
+    let any_g = ref false and any_f = ref false in
+    for u = hi downto lo do
+      if !aj > 0 then
+        refund_at.(u) <-
+          {
+            d_instr = !ai;
+            d_jit = !aj;
+            d_loads = !al;
+            d_stores = !asr_;
+            d_branches = !ab;
+            d_chk = !ac;
+            d_chkbr = !acb;
+            d_groups = (if !any_g then Array.copy g_scratch else zeros6);
+            d_fused = (if !any_f then Array.copy f_scratch else zerosf);
+            d_fused_retired = !afr;
+          };
+      ai := !ai + du_instr.(u);
+      aj := !aj + 1;
+      al := !al + du_loads.(u);
+      asr_ := !asr_ + du_stores.(u);
+      ab := !ab + du_branches.(u);
+      ac := !ac + du_chk.(u);
+      acb := !acb + du_chkbr.(u);
+      let g = du_grp.(u) in
+      if g >= 0 then begin
+        g_scratch.(g) <- g_scratch.(g) + 1;
+        any_g := true
+      end;
+      let fk = du_fusedk.(u) in
+      if fk >= 0 then begin
+        f_scratch.(fk) <- f_scratch.(fk) + 1;
+        afr := !afr + 2;
+        any_f := true
+      end
+    done
+  done;
 
   (* Operand validation, once per instruction at decode time: the
      micro-op bodies then use unchecked register-file accesses.  The
@@ -380,11 +828,11 @@ let compile (code : Code.t) : program =
       fun st -> fmax (tget st b) (tget st ix)
   in
 
-  (* The body of one micro-op: the instruction's semantics with every
-     operand pre-resolved.  [u] is this micro-op's own index; straight-
-     line successors return [u + 1]. *)
-  let body i u (k : Insn.kind) : uop =
-    let next = u + 1 in
+  (* The body of one singleton micro-op: the instruction's semantics
+     with every operand pre-resolved.  [next] is the slot-space
+     fall-through successor; [rf] the early-exit refund applied when
+     this micro-op leaves its block mid-way (deopt bailout paths). *)
+  let body i ~next ~rf (k : Insn.kind) : uop =
     let bpc = base + i in
     match k with
     | Insn.Label _ | Insn.Checkpoint _ ->
@@ -530,7 +978,7 @@ let compile (code : Code.t) : program =
       | _, Insn.Imm v, _ ->
         fun st ->
           let a = st.regs.(src) in
-          let t = Cpu.issue st.cpu ~cls ~ready:st.rr.(src) in
+          let t = issue_cls st ~cls ~ready:st.rr.(src) in
           let raw = alu_raw op a v in
           if set_flags then set_alu_flags st op a v raw;
           st.regs.(dst) <- sext32 raw;
@@ -540,7 +988,7 @@ let compile (code : Code.t) : program =
       | _, Insn.Reg r, _ ->
         fun st ->
           let a = st.regs.(src) and b = st.regs.(r) in
-          let t = Cpu.issue st.cpu ~cls ~ready:(fmax st.rr.(src) st.rr.(r)) in
+          let t = issue_cls st ~cls ~ready:(fmax st.rr.(src) st.rr.(r)) in
           let raw = alu_raw op a b in
           if set_flags then set_alu_flags st op a b raw;
           st.regs.(dst) <- sext32 raw;
@@ -552,7 +1000,7 @@ let compile (code : Code.t) : program =
       fun st ->
         let ea = ea st in
         let ready = fmax st.rr.(src) (rdy st) in
-        let t = Cpu.issue_load st.cpu ~ready ~addr:ea in
+        let t = issue_load st ~ready ~addr:ea in
         let b = st.mem.(mem_index st name ea) in
         let av = st.regs.(src) in
         let raw =
@@ -592,7 +1040,7 @@ let compile (code : Code.t) : program =
       fun st ->
         let eav = ea st in
         let ready = fmax st.rr.(a) (rdy st) in
-        let t = Cpu.issue_load st.cpu ~ready ~addr:eav in
+        let t = issue_load st ~ready ~addr:eav in
         let bv = st.mem.(mem_index st name eav) in
         let av = st.regs.(a) in
         set_add_sub_flags st av bv (av - bv) true;
@@ -616,13 +1064,13 @@ let compile (code : Code.t) : program =
         next
     | Insn.Fmov (d, s) ->
       fun st ->
-        let t = Cpu.issue st.cpu ~cls:Cpu.C_falu ~ready:st.fr.(s) in
+        let t = issue_cls st ~cls:Cpu.C_falu ~ready:st.fr.(s) in
         st.fregs.(d) <- st.fregs.(s);
         st.fr.(d) <- t;
         next
     | Insn.Fmov_imm (d, v) ->
       fun st ->
-        let t = Cpu.issue st.cpu ~cls:Cpu.C_falu ~ready:0.0 in
+        let t = issue_cls st ~cls:Cpu.C_falu ~ready:0.0 in
         st.fregs.(d) <- v;
         st.fr.(d) <- t;
         next
@@ -634,7 +1082,7 @@ let compile (code : Code.t) : program =
         | Insn.Fdiv -> Cpu.C_fdiv
       in
       fun st ->
-        let t = Cpu.issue st.cpu ~cls ~ready:(fmax st.fr.(a) st.fr.(b)) in
+        let t = issue_cls st ~cls ~ready:(fmax st.fr.(a) st.fr.(b)) in
         let av = st.fregs.(a) and bv = st.fregs.(b) in
         st.fregs.(dst) <-
           (match op with
@@ -647,7 +1095,7 @@ let compile (code : Code.t) : program =
     | Insn.Fcmp (a, b) ->
       fun st ->
         let t =
-          Cpu.issue st.cpu ~cls:Cpu.C_falu ~ready:(fmax st.fr.(a) st.fr.(b))
+          issue_cls st ~cls:Cpu.C_falu ~ready:(fmax st.fr.(a) st.fr.(b))
         in
         let av = st.fregs.(a) and bv = st.fregs.(b) in
         if Float.is_nan av || Float.is_nan bv then begin
@@ -667,24 +1115,24 @@ let compile (code : Code.t) : program =
         next
     | Insn.Scvtf (d, s) ->
       fun st ->
-        let t = Cpu.issue st.cpu ~cls:Cpu.C_fcvt ~ready:st.rr.(s) in
+        let t = issue_cls st ~cls:Cpu.C_fcvt ~ready:st.rr.(s) in
         st.fregs.(d) <- float_of_int st.regs.(s);
         st.fr.(d) <- t;
         next
     | Insn.Fcvtzs (d, s) ->
       fun st ->
-        let t = Cpu.issue st.cpu ~cls:Cpu.C_fcvt ~ready:st.fr.(s) in
+        let t = issue_cls st ~cls:Cpu.C_fcvt ~ready:st.fr.(s) in
         let v = st.fregs.(s) in
         st.regs.(d) <- (if Float.is_nan v then 0 else sext32 (int_of_float v));
         st.rr.(d) <- t;
         next
     | Insn.B l ->
-      let tgt = target l in
+      let tgt = starget l in
       fun st ->
         ignore (issue_branch st ~pc:bpc ~ready:0.0 ~taken:true);
         tgt
     | Insn.Bcond (c, l) ->
-      let tgt = target l in
+      let tgt = starget l in
       let cond = cond_fn c in
       fun st ->
         let taken = cond st in
@@ -701,6 +1149,7 @@ let compile (code : Code.t) : program =
           (issue_branch st ~pc:bpc ~ready:st.clk.Cpu.flags_ready ~taken);
         if taken then begin
           st.counters.Perf.deopt_events <- st.counters.Perf.deopt_events + 1;
+          refund st rf;
           st.outcome <-
             Deopt
               {
@@ -732,6 +1181,7 @@ let compile (code : Code.t) : program =
           st.counters.Perf.deopt_events <- st.counters.Perf.deopt_events + 1;
           if st.regs.(reg_ba) = 0 then
             fault "%s: jsldrsmi bailout with REG_BA unset" name;
+          refund st rf;
           st.outcome <-
             Deopt
               {
@@ -764,6 +1214,7 @@ let compile (code : Code.t) : program =
           st.counters.Perf.deopt_events <- st.counters.Perf.deopt_events + 1;
           if st.regs.(reg_ba) = 0 then
             fault "%s: jschkmap bailout with REG_BA unset" name;
+          refund st rf;
           st.outcome <-
             Deopt
               {
@@ -790,7 +1241,7 @@ let compile (code : Code.t) : program =
         for i = 0 to argc - 1 do
           if tget st i > !ready then ready := tget st i
         done;
-        let t = Cpu.issue st.cpu ~cls:Cpu.C_call ~ready:!ready in
+        let t = issue_cls st ~cls:Cpu.C_call ~ready:!ready in
         (* Synchronize dispatch with the call. *)
         if t > st.clk.Cpu.now then st.clk.Cpu.now <- t;
         let args_view = scratch_buf st argc in
@@ -818,23 +1269,23 @@ let compile (code : Code.t) : program =
         -1
     | Insn.Spill (slot, s) ->
       fun st ->
-        ignore (Cpu.issue st.cpu ~cls:Cpu.C_store ~ready:st.rr.(s));
+        ignore (issue_cls st ~cls:Cpu.C_store ~ready:st.rr.(s));
         st.slots.(slot) <- st.regs.(s);
         next
     | Insn.Reload (d, slot) ->
       fun st ->
-        let t = Cpu.issue st.cpu ~cls:Cpu.C_load ~ready:0.0 in
+        let t = issue_cls st ~cls:Cpu.C_load ~ready:0.0 in
         st.regs.(d) <- st.slots.(slot);
         st.rr.(d) <- t +. 2.0 (* L1-hit reload *);
         next
     | Insn.Spill_f (slot, s) ->
       fun st ->
-        ignore (Cpu.issue st.cpu ~cls:Cpu.C_store ~ready:st.fr.(s));
+        ignore (issue_cls st ~cls:Cpu.C_store ~ready:st.fr.(s));
         st.fslots.(slot) <- st.fregs.(s);
         next
     | Insn.Reload_f (d, slot) ->
       fun st ->
-        let t = Cpu.issue st.cpu ~cls:Cpu.C_load ~ready:0.0 in
+        let t = issue_cls st ~cls:Cpu.C_load ~ready:0.0 in
         st.fregs.(d) <- st.fslots.(slot);
         st.fr.(d) <- t +. 2.0;
         next
@@ -866,37 +1317,206 @@ let compile (code : Code.t) : program =
         next
   in
 
+  (* ---- fused micro-op builders ----
+     Each fused closure executes both instructions' semantics and both
+     issue paths in exactly the direct interpreter's order; the only
+     per-instruction prologue work between the halves is the sampler's
+     attribution PC (the intra-pair fetch is statically a no-op, and
+     counters are batched).  [pc2]/[bpc2] are the second instruction's
+     sampler pc and branch address. *)
+  let fused_cmp_branch s u1 =
+    let u2 = u1 + 1 in
+    let i2 = insn_of_uop.(u2) in
+    let next = s + 1 in
+    let pc2 = i2 in
+    let bpc2 = base + i2 in
+    let is_tst, a, rhs =
+      match ku u1 with
+      | Insn.Cmp (a, rhs) -> (false, a, rhs)
+      | Insn.Tst (a, rhs) -> (true, a, rhs)
+      | _ -> assert false
+    in
+    let a = vreg a in
+    let b_reg, b_imm =
+      match rhs with Insn.Reg r -> (vreg r, 0) | Insn.Imm v -> (-1, v)
+    in
+    match ku u2 with
+    | Insn.Deopt_if (c, dp) ->
+      let cond = cond_fn c in
+      let point = deopts.(dp) in
+      let reason = point.Code.reason in
+      let rf = refund_at.(u2) in
+      fun st ->
+        let av = rget st a in
+        let bv = if b_reg >= 0 then rget st b_reg else b_imm in
+        let ready =
+          if b_reg >= 0 then fmax (tget st a) (tget st b_reg) else tget st a
+        in
+        let t = issue_alu st ~ready in
+        if is_tst then set_logic_flags st (av land bv)
+        else set_add_sub_flags st av bv (av - bv) true;
+        st.clk.Cpu.flags_ready <- t;
+        if st.sampling then st.cpu.Cpu.cur_pc <- pc2;
+        let taken = cond st in
+        issue_branch st ~pc:bpc2 ~ready:t ~taken;
+        if taken then begin
+          st.counters.Perf.deopt_events <- st.counters.Perf.deopt_events + 1;
+          refund st rf;
+          st.outcome <-
+            Deopt
+              {
+                deopt_id = dp;
+                reason;
+                snapshot = take_snapshot st;
+                via_smi_ext = false;
+              };
+          -1
+        end
+        else next
+    | Insn.Bcond (c, l) ->
+      let tgt = starget l in
+      let cond = cond_fn c in
+      fun st ->
+        let av = rget st a in
+        let bv = if b_reg >= 0 then rget st b_reg else b_imm in
+        let ready =
+          if b_reg >= 0 then fmax (tget st a) (tget st b_reg) else tget st a
+        in
+        let t = issue_alu st ~ready in
+        if is_tst then set_logic_flags st (av land bv)
+        else set_add_sub_flags st av bv (av - bv) true;
+        st.clk.Cpu.flags_ready <- t;
+        if st.sampling then st.cpu.Cpu.cur_pc <- pc2;
+        let taken = cond st in
+        issue_branch st ~pc:bpc2 ~ready:t ~taken;
+        if taken then tgt else next
+    | _ -> assert false
+  in
+  let fused_ldr_untag s u1 =
+    let u2 = u1 + 1 in
+    let next = s + 1 in
+    let pc2 = insn_of_uop.(u2) in
+    let d, am =
+      match ku u1 with Insn.Ldr (d, a) -> (vreg d, a) | _ -> assert false
+    in
+    let op2, dst2, v2 =
+      match ku u2 with
+      | Insn.Alu { op; dst; src = _; rhs = Insn.Imm v; set_flags = _ } ->
+        (op, vreg dst, v)
+      | _ -> assert false
+    in
+    match am.Insn.index with
+    | None ->
+      let b = vreg am.Insn.base and off = am.Insn.offset in
+      fun st ->
+        let ea = rget st b + off in
+        let t = issue_load st ~ready:(tget st b) ~addr:ea in
+        let w = Array.unsafe_get st.mem (mem_index st name ea) in
+        rset st d w;
+        tset st d t;
+        if st.sampling then st.cpu.Cpu.cur_pc <- pc2;
+        let t2 = issue_alu st ~ready:t in
+        rset st dst2 (sext32 (alu_raw op2 w v2));
+        tset st dst2 t2;
+        next
+    | Some _ ->
+      let ea = eff am and rdy = aready am in
+      fun st ->
+        let eav = ea st in
+        let t = issue_load st ~ready:(rdy st) ~addr:eav in
+        let w = Array.unsafe_get st.mem (mem_index st name eav) in
+        rset st d w;
+        tset st d t;
+        if st.sampling then st.cpu.Cpu.cur_pc <- pc2;
+        let t2 = issue_alu st ~ready:t in
+        rset st dst2 (sext32 (alu_raw op2 w v2));
+        tset st dst2 t2;
+        next
+  in
+  let fused_alu_alu s u1 =
+    let u2 = u1 + 1 in
+    let next = s + 1 in
+    let pc2 = insn_of_uop.(u2) in
+    let dec u =
+      match ku u with
+      | Insn.Alu { op; dst; src; rhs; set_flags = _ } ->
+        let r, v =
+          match rhs with Insn.Reg r -> (vreg r, 0) | Insn.Imm v -> (-1, v)
+        in
+        (op, vreg dst, vreg src, r, v)
+      | _ -> assert false
+    in
+    let o1, d1, s1, r1, v1 = dec u1 in
+    let o2, d2, s2, r2, v2 = dec u2 in
+    fun st ->
+      let a1 = rget st s1 in
+      let b1 = if r1 >= 0 then rget st r1 else v1 in
+      let ready1 =
+        if r1 >= 0 then fmax (tget st s1) (tget st r1) else tget st s1
+      in
+      let t1 = issue_alu st ~ready:ready1 in
+      rset st d1 (sext32 (alu_raw o1 a1 b1));
+      tset st d1 t1;
+      if st.sampling then st.cpu.Cpu.cur_pc <- pc2;
+      let a2 = rget st s2 in
+      let b2 = if r2 >= 0 then rget st r2 else v2 in
+      let ready2 =
+        if r2 >= 0 then fmax (tget st s2) (tget st r2) else tget st s2
+      in
+      let t2 = issue_alu st ~ready:ready2 in
+      rset st d2 (sext32 (alu_raw o2 a2 b2));
+      tset st d2 t2;
+      next
+  in
+
+  (* Kinds whose body can raise [Machine_fault] partway through (memory
+     access after issue).  For slots led by one of these, the fault
+     refund covers the suffix INCLUDING the fused partner; otherwise a
+     fault can only escape after the whole slot's semantics, so the
+     refund is the suffix after the slot. *)
+  let fault_capable u =
+    match ku u with
+    | Insn.Ldr _ | Insn.Str _ | Insn.Ldr_f _ | Insn.Str_f _ | Insn.Alu_mem _
+    | Insn.Cmp_mem _ | Insn.Js_ldr_smi _ | Insn.Js_chk_map _ ->
+      true
+    | _ -> false
+  in
+
   (* One trailing sentinel slot: reachable only by falling through the
      last instruction (or branching to a trailing pseudo), where the
-     direct engine faults with the same message.  The prologue runs on
-     the sentinel's zero side-array entries before the fault fires;
-     the fault aborts the activation, so that state is unobservable. *)
-  let uops =
-    Array.make (!count + 1) (fun (_ : st) ->
-        fault "%s: fell off code end" name)
-  in
-  let addrs = Array.make (!count + 1) 0 in
-  let pcs = Array.make (!count + 1) 0 in
-  let checks = Array.make (!count + 1) 0 in
-  for i = 0 to n - 1 do
-    let insn = insns.(i) in
-    let k = insn.Insn.kind in
-    if not (Insn.is_pseudo k) then begin
-      let u = uop_of_insn.(i) in
-      uops.(u) <- body i u k;
-      let addr = base + i in
-      addrs.(u) <- addr;
-      pcs.(u) <- i;
-      (* Check provenance and deopt-branch status are static: fold the
-         direct engine's per-instruction [count_check] match into one
-         packed descriptor read by the dispatch loop. *)
-      checks.(u) <-
-        (match insn.Insn.prov with
-        | Insn.Check { group; _ } ->
-          let branch = match k with Insn.Deopt_if _ -> true | _ -> false in
-          (Insn.group_index group + 1) lor (if branch then 16 else 0)
-        | Insn.Main_line | Insn.Shared -> 0)
+     direct engine faults with the same message.  Its side-array
+     entries (-1) skip the whole prologue, so no state is touched
+     before the fault fires — same as the direct engine's bounds
+     check. *)
+  let sentinel (_ : st) : int = fault "%s: fell off code end" name in
+  let uops = Array.make (n_slots + 1) sentinel in
+  let addrs = Array.make (n_slots + 1) (-1) in
+  let pcs = Array.make (n_slots + 1) 0 in
+  let blocks = Array.make (n_slots + 1) (-1) in
+  let faults = Array.make (n_slots + 1) no_delta in
+  let fused_static = Array.make Perf.num_fuse_kinds 0 in
+  for s = 0 to n_slots - 1 do
+    let u1 = slot_first_uop.(s) in
+    let fk = slot_kind.(s) in
+    let i1 = insn_of_uop.(u1) in
+    pcs.(s) <- i1;
+    (* Fetch is dynamic at control-flow block leaders (the predecessor
+       is unknown: branch, call return, or a nested activation may
+       have moved the fetch line).  Mid-block, the predecessor is
+       always the previous micro-op, so a same-line fetch is provably
+       the [last_iline] no-op and is elided at decode time. *)
+    if leader.(u1) || uline u1 <> uline (u1 - 1) then addrs.(s) <- base + i1;
+    if block_start u1 then blocks.(s) <- block_of_uop.(u1);
+    let last_u = if fk >= 0 then u1 + 1 else u1 in
+    faults.(s) <- refund_at.(if fault_capable u1 then u1 else last_u);
+    if fk >= 0 then begin
+      fused_static.(fk) <- fused_static.(fk) + 1;
+      uops.(s) <-
+        (if fk = Perf.f_load_untag then fused_ldr_untag s u1
+         else if fk = Perf.f_alu_alu then fused_alu_alu s u1
+         else fused_cmp_branch s u1)
     end
+    else uops.(s) <- body i1 ~next:(s + 1) ~rf:refund_at.(u1) (ku u1)
   done;
   {
     p_name = name;
@@ -904,18 +1524,32 @@ let compile (code : Code.t) : program =
     p_uops = uops;
     p_addrs = addrs;
     p_pcs = pcs;
-    p_checks = checks;
+    p_blocks = blocks;
+    p_deltas;
+    p_faults = faults;
+    p_fuse = fuse;
+    p_batch = batch;
+    p_stats =
+      {
+        st_uops = n_uops;
+        st_slots = n_slots;
+        st_blocks = n_blocks;
+        st_fused = fused_static;
+      };
   }
 
 let get (code : Code.t) =
+  let fuse = fuse_enabled () in
+  let batch = batch_enabled () in
   match code.Code.decode_cache with
-  | Decoded p -> p
+  | Decoded p when p.p_fuse = fuse && p.p_batch = batch -> p
   | _ ->
     let p = compile code in
     code.Code.decode_cache <- Decoded p;
     p
 
 let warm code = ignore (get code)
+let stats p = p.p_stats
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -937,7 +1571,11 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
       clk = cpu.Cpu.clk;
       inorder = cpu.Cpu.cfg.Cpu.inorder;
       sampler = cpu.Cpu.sampler;
+      sampling = cpu.Cpu.sampler <> None;
+      bp = cpu.Cpu.bp;
       counters = cpu.Cpu.counters;
+      fstats = cpu.Cpu.fstats;
+      binc = (if p.p_batch then 1 else 0);
       regs;
       fregs;
       slots;
@@ -957,52 +1595,70 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
   in
   let uops = p.p_uops in
   let addrs = p.p_addrs in
-  let pcs = p.p_pcs and checks = p.p_checks in
-  let counters = st.counters in
+  let pcs = p.p_pcs in
+  let blocks = p.p_blocks and deltas = p.p_deltas and faults = p.p_faults in
   let clk = st.clk in
   cpu.Cpu.cur_code <- p.p_code_id;
-  (* Every next-index a micro-op can return is within [0, count]
+  (* Every next-index a micro-op can return is within [0, slots]
      (straight-line successors and decode-resolved branch targets), and
-     slot [count] holds the fell-off-code-end sentinel, so the loop
-     indexes the arrays unchecked. *)
-  (match cpu.Cpu.sampler with
-  | Some _ ->
-    let i = ref 0 in
-    while !i >= 0 do
-      if clk.Cpu.now > clk.Cpu.fuel_limit then
-        Support.Fault.runaway ~what:code.Code.name ~limit:clk.Cpu.fuel_limit;
-      let k = !i in
-      (* Shared per-instruction prologue, all constants pre-resolved:
-         exactly the direct engine's fetch/sample/count/check
-         sequence. *)
-      let addr = Array.unsafe_get addrs k in
-      Cpu.fetch_line cpu ~addr ~line:(addr lsr 4);
-      cpu.Cpu.cur_pc <- Array.unsafe_get pcs k;
-      counters.Perf.jit_instructions <- counters.Perf.jit_instructions + 1;
-      let ci = Array.unsafe_get checks k in
-      if ci <> 0 then
-        Perf.note_check counters
-          ~group_index:((ci land 15) - 1)
-          ~branch:(ci >= 16);
-      i := (Array.unsafe_get uops k) st
-    done
-  | None ->
-    (* Without a PC sampler the attribution PC is never read
-       ([Cpu.finish] only consults it to tick the sampler), so the
-       per-instruction [cur_pc] update is dead and skipped. *)
-    let i = ref 0 in
-    while !i >= 0 do
-      if clk.Cpu.now > clk.Cpu.fuel_limit then
-        Support.Fault.runaway ~what:code.Code.name ~limit:clk.Cpu.fuel_limit;
-      let k = !i in
-      let addr = Array.unsafe_get addrs k in
-      Cpu.fetch_line cpu ~addr ~line:(addr lsr 4);
-      counters.Perf.jit_instructions <- counters.Perf.jit_instructions + 1;
-      let ci = Array.unsafe_get checks k in
-      if ci <> 0 then
-        Perf.note_check counters
-          ~group_index:((ci land 15) - 1)
-          ~branch:(ci >= 16);
-      i := (Array.unsafe_get uops k) st
-    done);
+     the last slot holds the fell-off-code-end sentinel, so the loop
+     indexes the arrays unchecked.
+
+     Per-slot prologue: at an accounting-block leader, check watchdog
+     fuel and take the block's batched counter charge; then the fetch
+     (elided at decode time when the line provably cannot have
+     changed), the sampler attribution pc, and the indirect call.
+     Integer counters (jit_instructions, check accounting, retirement
+     counts) are inside the batched charge — the direct engine's
+     per-instruction order is recovered because integer adds commute
+     and all float work stays per-instruction inside the micro-ops.
+
+     Every loop in the code crosses a block leader (each back-edge
+     targets one), so the fuel check still runs at least once per
+     iteration; a mid-block exhaustion is detected at the next block
+     entry, bounding overshoot by one straight-line block.
+
+     A [Machine_fault] escaping a micro-op has already charged its own
+     retirement (issue precedes the memory access, as in the direct
+     engine) but not its block suffix: the handler applies the
+     faulting slot's precomputed refund, restoring exact counter
+     agreement, and re-raises. *)
+  let i = ref 0 in
+  (try
+     match cpu.Cpu.sampler with
+     | Some _ ->
+       while !i >= 0 do
+         let k = !i in
+         let b = Array.unsafe_get blocks k in
+         if b >= 0 then begin
+           if clk.Cpu.now > clk.Cpu.fuel_limit then
+             Support.Fault.runaway ~what:code.Code.name
+               ~limit:clk.Cpu.fuel_limit;
+           charge st (Array.unsafe_get deltas b)
+         end;
+         let addr = Array.unsafe_get addrs k in
+         if addr >= 0 then Cpu.fetch_line cpu ~addr ~line:(addr lsr 4);
+         cpu.Cpu.cur_pc <- Array.unsafe_get pcs k;
+         i := (Array.unsafe_get uops k) st
+       done
+     | None ->
+       (* Without a PC sampler the attribution PC is never read
+          ([Cpu.finish] only consults it to tick the sampler), so the
+          per-slot [cur_pc] update is dead and skipped. *)
+       while !i >= 0 do
+         let k = !i in
+         let b = Array.unsafe_get blocks k in
+         if b >= 0 then begin
+           if clk.Cpu.now > clk.Cpu.fuel_limit then
+             Support.Fault.runaway ~what:code.Code.name
+               ~limit:clk.Cpu.fuel_limit;
+           charge st (Array.unsafe_get deltas b)
+         end;
+         let addr = Array.unsafe_get addrs k in
+         if addr >= 0 then Cpu.fetch_line cpu ~addr ~line:(addr lsr 4);
+         i := (Array.unsafe_get uops k) st
+       done
+   with Machine_fault _ as e ->
+     refund st (Array.unsafe_get faults !i);
+     raise e);
   st.outcome

@@ -183,6 +183,70 @@ let test_watchdog_both_engines () =
         (fun () -> run_spin engine))
     [ Exec.Direct; Exec.Decoded ]
 
+(* One long straight-line accounting block per loop iteration: eight
+   ALU ops (which pairwise fuse on disjoint registers) and an
+   unconditional back-edge.  Under block batching the fuel check runs
+   once per block entry, so this is the worst case for overshoot. *)
+let straight_spin () =
+  mk_code
+    ([ Insn.Label 0 ]
+    @ List.init 8 (fun k ->
+          Insn.Alu
+            {
+              op = Insn.Add;
+              dst = k mod 4;
+              src = k mod 4;
+              rhs = Insn.Imm 1;
+              set_flags = false;
+            })
+    @ [ Insn.B 0 ])
+
+let run_spin_config ~fuse ~batch code =
+  Exec.set_engine (Some Exec.Decoded);
+  Decode.set_fuse (Some fuse);
+  Decode.set_batch (Some batch);
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.set_engine None;
+      Decode.set_fuse None;
+      Decode.set_batch None)
+    (fun () ->
+      let cpu = Cpu.create Cpu.fast_arm64 in
+      Cpu.arm_watchdog cpu ~cycles:10_000.0;
+      match
+        Exec.run cpu ~host:(null_host (Array.make 8 0)) ~code ~args:[||]
+      with
+      | _ -> Alcotest.fail "watchdog did not trip"
+      | exception e -> (cpu, e))
+
+let test_watchdog_batched_payload () =
+  (* Mid-block fuel exhaustion must raise the exact same typed fault —
+     same [what], same [limit] — in every engine configuration. *)
+  List.iter
+    (fun (fuse, batch) ->
+      let _, e = run_spin_config ~fuse ~batch (straight_spin ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "exact Runaway payload (fuse=%b batch=%b)" fuse batch)
+        true
+        (e = Fault.Fault (Fault.Runaway { what = "spin"; limit = 10_000.0 })))
+    [ (true, true); (false, true); (true, false); (false, false) ]
+
+let test_watchdog_overshoot_bounded () =
+  (* The block-entry fuel check runs before the block's charge, so the
+     dispatch pointer can pass the ceiling by at most one straight-line
+     block — ten micro-ops here, well under 32 cycles on the fast ARM64
+     model — never by an unbounded amount. *)
+  List.iter
+    (fun (fuse, batch) ->
+      let cpu, _ = run_spin_config ~fuse ~batch (straight_spin ()) in
+      let now = cpu.Cpu.clk.Cpu.now in
+      Alcotest.(check bool)
+        (Printf.sprintf "overshoot within one block (fuse=%b batch=%b)" fuse
+           batch)
+        true
+        (now > 0.0 && now <= 10_000.0 +. 32.0))
+    [ (true, true); (true, false) ]
+
 let test_watchdog_disarmed_is_free () =
   (* A terminating code object under an armed watchdog is unaffected. *)
   let cpu = Cpu.create Cpu.fast_arm64 in
@@ -420,6 +484,10 @@ let suite =
         tc "pool containment" test_pool_containment;
         tc "pool injection transparency" test_pool_injection_transparent;
         tc "watchdog trips both engines" test_watchdog_both_engines;
+        tc "watchdog payload identical under batching"
+          test_watchdog_batched_payload;
+        tc "watchdog overshoot bounded by one block"
+          test_watchdog_overshoot_bounded;
         tc "watchdog arm/disarm" test_watchdog_disarmed_is_free;
         tc "pool survives runaway job" test_pool_survives_runaway;
         tc "harness-level watchdog" test_harness_watchdog;

@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the source of truth.
 
-.PHONY: all build test quick bench bench-exec perf faults check clean
+.PHONY: all build test quick bench bench-exec perf faults trace check ci clean
 
 all: build
 
@@ -35,9 +35,25 @@ perf:
 faults:
 	dune build @faults
 
-# The pre-merge gate: smoke path + fault-tolerance gate.
+# Tracing quickstart: write a Perfetto-loadable trace of one figure to
+# trace.json.  Open it at https://ui.perfetto.dev (or chrome://tracing).
+# The tracing test gate itself is `dune build @trace` (part of `check`).
+trace:
+	VSPEC_TRACE=trace.json VSPEC_ITERS=40 VSPEC_BENCH=DP VSPEC_CACHE_DIR=off VSPEC_BENCH_OUT=off \
+	  dune exec bin/experiments.exe -- fig1
+	@echo "open trace.json in https://ui.perfetto.dev"
+
+# The pre-merge gate: smoke path + fault-tolerance + tracing gates.
 check:
-	dune build @quick @faults
+	dune build @quick @faults @trace
+
+# Minimal CI entry point: tier-1 build+tests, the smoke alias, and the
+# perf guard (fresh exec micro-bench vs committed BENCH_exec.json).
+ci:
+	dune build
+	dune runtest
+	dune build @quick @trace
+	dune build @perf
 
 clean:
 	dune clean

@@ -105,6 +105,19 @@ let () =
   | None, _ ->
     Printf.printf "[guard] committed file has no fusion floor; skipping\n"
   | _, None -> fail "fresh run reports no suite_fused_retired_pct");
+  (match
+     ( float_field "trace_overhead_limit_pct" committed,
+       float_field "trace_overhead_pct" fresh )
+   with
+  | Some limit, Some overhead ->
+    Printf.printf "[guard] tracing overhead %.2f%% (limit %.1f%%)%s\n" overhead
+      limit
+      (if overhead > limit then "  << REGRESSION" else "");
+    if overhead > limit then
+      fail "tracing overhead %.2f%% exceeds the %.1f%% limit" overhead limit
+  | None, _ ->
+    Printf.printf "[guard] committed file has no tracing limit; skipping\n"
+  | _, None -> fail "fresh run reports no trace_overhead_pct");
   match !failures with
   | [] -> Printf.printf "[guard] OK (tolerance %.0f%%)\n" (100.0 *. tol)
   | fs ->

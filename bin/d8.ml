@@ -2,7 +2,13 @@
    the simulated CPU, optionally dumping bytecode, optimized code and
    performance counters. *)
 
-let run_file path inline arch_name no_opt baseline dump_code dump_stats iterations entry =
+let run_file path inline arch_name no_opt baseline dump_code dump_stats iterations entry trace_path =
+  (* Tracing first, so the parse/compile of the script itself is
+     captured.  A bad destination degrades to an untraced run with a
+     one-line warning (Support.Fault containment style), not a crash. *)
+  (match Trace.setup ?path:trace_path () with
+  | Ok _ -> ()
+  | Error msg -> Printf.eprintf "d8: warning: %s\n%!" msg);
   let source =
     match (path, inline) with
     | Some p, _ ->
@@ -93,9 +99,12 @@ let iterations =
 let entry =
   Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"FN" ~doc:"Global function to call N times after the script runs.")
 
+let trace_path =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc:"Write an execution trace to $(docv) at exit (format from the extension: .json Chrome/Perfetto, .folded flamegraph, .csv counters). Defaults to $(b,VSPEC_TRACE) when set.")
+
 let cmd =
   let doc = "run JavaScript on the simulated V8-style engine" in
   Cmd.v (Cmd.info "vspec-d8" ~doc)
-    Term.(const run_file $ path $ inline $ arch $ no_opt $ baseline $ dump_code $ dump_stats $ iterations $ entry)
+    Term.(const run_file $ path $ inline $ arch $ no_opt $ baseline $ dump_code $ dump_stats $ iterations $ entry $ trace_path)
 
 let () = exit (Cmd.eval cmd)

@@ -14,6 +14,10 @@
    (checksum cells against the interpreter-only reference),
    VSPEC_REGEX_STEPS (regex backtracking budget).
 
+   Tracing knobs: --trace PATH / VSPEC_TRACE (execution trace written
+   at exit; .json Chrome/Perfetto, .folded flamegraph, .csv counter
+   timelines), VSPEC_TRACE_BUF (ring-buffer event capacity).
+
    Exit codes: 0 = clean; 1 = degraded (at least one cell permanently
    failed -- the failure report on stderr lists each cell, its error
    class and attempt count, and the affected figure cells render as
@@ -58,11 +62,19 @@ let ids =
 
 let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.")
 
-let main list_only ids =
+let trace_path =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc:"Write an execution trace to $(docv) at exit (format from the extension: .json Chrome/Perfetto, .folded flamegraph, .csv counters). Defaults to $(b,VSPEC_TRACE) when set.")
+
+let main list_only trace_path ids =
+  (match Trace.setup ?path:trace_path () with
+  | Ok _ -> ()
+  | Error msg -> Printf.eprintf "vspec: warning: %s\n%!" msg);
   if list_only then list_experiments () else run_ids ids
 
 let cmd =
   let doc = "reproduce the paper's tables and figures" in
-  Cmd.v (Cmd.info "vspec-experiments" ~doc) Term.(const main $ list_flag $ ids)
+  Cmd.v
+    (Cmd.info "vspec-experiments" ~doc)
+    Term.(const main $ list_flag $ trace_path $ ids)
 
 let () = exit (Cmd.eval cmd)

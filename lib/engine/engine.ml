@@ -98,9 +98,16 @@ let run_gc t =
      volumes; this is one of the paper's noise sources. *)
   let live = Heap.last_gc_live_words h and freed = Heap.last_gc_freed_words h in
   let cost = 400.0 +. (float_of_int live /. 3.0) +. (float_of_int freed /. 10.0) in
+  let trace_t0 = if !Trace.on then Cpu.cycles t.cpu else 0.0 in
   Cpu.charge t.cpu ~cycles:cost
     ~instructions:(int_of_float (cost /. 1.2))
-    ~code_id:Perf.gc_code_id
+    ~code_id:Perf.gc_code_id;
+  if !Trace.on then
+    Trace.complete_at ~cat:"jsvm"
+      ~arg:(Printf.sprintf "live=%d freed=%d" live freed)
+      ~ts:trace_t0
+      ~dur:(Cpu.cycles t.cpu -. trace_t0)
+      "gc"
 
 let force_gc t = run_gc t
 
@@ -141,6 +148,7 @@ let codegen_consts t =
   }
 
 let compile t (f : Runtime.func_rt) =
+  let trace_t0 = if !Trace.on then Cpu.cycles t.cpu else 0.0 in
   let builder_cfg =
     {
       Graph_builder.arch = t.cfg.arch;
@@ -151,7 +159,11 @@ let compile t (f : Runtime.func_rt) =
   match Graph_builder.build builder_cfg t.rt f with
   | exception Graph_builder.Bailout msg ->
     f.Runtime.forbid_opt <- true;
-    t.bailouts <- (f.Runtime.info.Bytecode.name, msg) :: t.bailouts
+    t.bailouts <- (f.Runtime.info.Bytecode.name, msg) :: t.bailouts;
+    if !Trace.on then
+      Trace.instant_at ~cat:"jsvm"
+        ~arg:(f.Runtime.info.Bytecode.name ^ ": " ^ msg)
+        ~ts:(Cpu.cycles t.cpu) "tier-up:bailout"
   | graph ->
     if t.cfg.checks.disabled_groups <> [] then
       ignore
@@ -184,10 +196,16 @@ let compile t (f : Runtime.func_rt) =
     let cost = 800.0 +. (25.0 *. float_of_int (Son.node_count graph)) in
     Cpu.charge t.cpu ~cycles:cost
       ~instructions:(int_of_float cost)
-      ~code_id:Perf.runtime_code_id
+      ~code_id:Perf.runtime_code_id;
+    if !Trace.on then
+      Trace.complete_at ~cat:"jsvm" ~arg:f.Runtime.info.Bytecode.name
+        ~ts:trace_t0
+        ~dur:(Cpu.cycles t.cpu -. trace_t0)
+        "tier-up:optimize"
 
 let compile_baseline t (f : Runtime.func_rt) =
   let fid = f.Runtime.info.Bytecode.fid in
+  let trace_t0 = if !Trace.on then Cpu.cycles t.cpu else 0.0 in
   if not (Hashtbl.mem t.baseline_failed fid) then begin
     match
       Sparkplug.compile ~code_id:t.next_code_id ~base_addr:t.next_base_addr
@@ -206,7 +224,12 @@ let compile_baseline t (f : Runtime.func_rt) =
       (* Baseline compilation is cheap: a single linear pass. *)
       let cost = 150.0 +. (4.0 *. float_of_int (Array.length code.Code.insns)) in
       Cpu.charge t.cpu ~cycles:cost ~instructions:(int_of_float cost)
-        ~code_id:Perf.runtime_code_id
+        ~code_id:Perf.runtime_code_id;
+      if !Trace.on then
+        Trace.complete_at ~cat:"jsvm" ~arg:f.Runtime.info.Bytecode.name
+          ~ts:trace_t0
+          ~dur:(Cpu.cycles t.cpu -. trace_t0)
+          "tier-up:baseline"
   end
 
 (* ------------------------------------------------------------------ *)
@@ -240,6 +263,10 @@ let rec execute_optimized t fid margs =
   | Exec.Done v -> v
   | Exec.Deopt { deopt_id; reason; snapshot; via_smi_ext = _ } ->
     note_deopt t reason;
+    if !Trace.on then
+      Trace.instant_at ~cat:"jsvm"
+        ~arg:(f.Runtime.info.Bytecode.name ^ ": " ^ Insn.reason_name reason)
+        ~ts:(Cpu.cycles t.cpu) "deopt";
     (* Soft deopts (compiled too soon, paper Section II-B1) are benign:
        they refresh feedback and do not count toward disabling the
        optimizer. *)
@@ -329,6 +356,9 @@ let create cfg source =
     }
   in
   t.host <- Some (make_host t);
+  (* Point the tracing sim clock at this engine's CPU (domain-local, so
+     pool workers each trace their own engine's timeline). *)
+  Trace.set_sim_clock (fun () -> Cpu.cycles cpu);
   (* Interpreter and builtin cost accounting on the shared CPU. *)
   rt.Runtime.charge_interp <-
     (fun ~cycles ~instructions ->

@@ -170,6 +170,7 @@ let quarantine path reason =
   (* A concurrent process may have renamed or replaced it already;
      losing that race is fine. *)
   (try Sys.rename path dst with Sys_error _ -> ());
+  Trace.instant_wall ~cat:"support" ~arg:path "cache:quarantine";
   Support.Fault.Ledger.note ~cell:path
     (Support.Fault.Cache_corrupt { path; reason })
 
@@ -186,7 +187,14 @@ let disk_load : 'a. kind:string -> config:Engine.config -> iters:int ->
   match disk_path ~kind ~config ~iters bench with
   | None -> None
   | Some path ->
-    if not (Sys.file_exists path) then None
+    if !Trace.on then begin
+      (* A warm disk cache would satisfy every cell without simulating,
+         leaving the trace empty of engine events; traced runs always
+         simulate (and refresh the cache on the way out). *)
+      Trace.instant_wall ~cat:"experiments" ~arg:path "cache:bypass";
+      None
+    end
+    else if not (Sys.file_exists path) then None
     else begin
       match
         Support.Fault.Inject.fires ~site:Support.Fault.Inject.Cache_read
@@ -204,6 +212,7 @@ let disk_load : 'a. kind:string -> config:Engine.config -> iters:int ->
           match Marshal.from_channel ic with
           | v ->
             close_in_noerr ic;
+            Trace.instant_wall ~cat:"experiments" ~arg:path "cache:hit";
             Some v
           | exception (End_of_file | Failure _) ->
             close_in_noerr ic;
@@ -232,7 +241,8 @@ let disk_store ~kind ~config ~iters ~attempt bench v =
         let oc = open_out_bin tmp in
         Marshal.to_channel oc v [];
         close_out oc;
-        Sys.rename tmp path
+        Sys.rename tmp path;
+        Trace.instant_wall ~cat:"experiments" ~arg:path "cache:store"
       with Sys_error _ -> ()))
 
 (* ------------------------------------------------------------------ *)
@@ -265,7 +275,15 @@ let record_failure key err attempts =
   let fresh = not (Hashtbl.mem failed key) in
   if fresh then Hashtbl.add failed key (err, attempts);
   Mutex.unlock failed_mu;
-  if fresh then Support.Fault.Ledger.record ~attempts ~cell:key err
+  if fresh then begin
+    if !Trace.on then
+      Trace.instant_wall ~cat:"support"
+        ~arg:
+          (Printf.sprintf "%s cell=%s attempts=%d" (Support.Fault.class_name err)
+             key attempts)
+        "fault";
+    Support.Fault.Ledger.record ~attempts ~cell:key err
+  end
 
 let failure_for key =
   Mutex.lock failed_mu;

@@ -116,6 +116,9 @@ let copy_counters c =
   fresh
 
 let run ?(iterations = 300) ~(config : Engine.config) bench =
+  Trace.span_wall ~cat:"experiments"
+    ~arg:(Printf.sprintf "%s/%s" bench.Workloads.Suite.id (Arch.name config.Engine.arch))
+    "harness" @@ fun () ->
   let eng = Engine.create config bench.Workloads.Suite.source in
   let cpu = Engine.cpu eng in
   let counters = cpu.Cpu.counters in
@@ -150,6 +153,13 @@ let run ?(iterations = 300) ~(config : Engine.config) bench =
          error := Some ("runtime divergence: " ^ Printexc.to_string e));
        iter_cycles.(!i) <- Engine.cycles eng -. c0;
        iter_deopts.(!i) <- counters.Perf.deopt_events - d0;
+       if !Trace.on then begin
+         let ts = Engine.cycles eng in
+         Trace.counter_at ~cat:"experiments" ~ts "iter_cycles"
+           iter_cycles.(!i);
+         Trace.counter_at ~cat:"experiments" ~ts "iter_deopts"
+           (float_of_int iter_deopts.(!i))
+       end;
        Engine.iteration_safepoint eng;
        incr i
      done
@@ -180,7 +190,7 @@ let run ?(iterations = 300) ~(config : Engine.config) bench =
   | Some s ->
     total_samples := Perf.total_samples s;
     List.iter
-      (fun (code_id, _) ->
+      (fun (code_id, code_total) ->
         if code_id >= 0 then begin
           match Engine.code_of_id eng code_id with
           | None -> ()
@@ -188,11 +198,50 @@ let run ?(iterations = 300) ~(config : Engine.config) bench =
             let samples =
               Perf.samples_for s ~code_id ~size:(Array.length code.Code.insns)
             in
+            let wm = window_map_for code_id code in
             jit_samples :=
               !jit_samples
-              + attribute_code_with
-                  ~window_map:(window_map_for code_id code)
-                  ~code ~samples ~window_acc ~truth_acc
+              + attribute_code_with ~window_map:wm ~code ~samples ~window_acc
+                  ~truth_acc;
+            (* Folded-stack export of the PC sampler's per-check
+               attribution: one frame per code object, leaf frames
+               splitting main-line work from each check-group window. *)
+            if !Trace.on then begin
+              let leaf = Hashtbl.create 8 in
+              Array.iteri
+                (fun i c ->
+                  if c > 0 && i < Array.length wm then begin
+                    let frame =
+                      if wm.(i) >= 0 then
+                        "check:"
+                        ^ Insn.group_name (List.nth Insn.all_groups wm.(i))
+                      else "main"
+                    in
+                    Hashtbl.replace leaf frame
+                      (c + Option.value ~default:0 (Hashtbl.find_opt leaf frame))
+                  end)
+                samples;
+              Hashtbl.iter
+                (fun frame c ->
+                  Trace.sample
+                    ~stack:
+                      (Printf.sprintf "%s;%s;%s" bench.Workloads.Suite.id
+                         code.Code.name frame)
+                    c)
+                leaf
+            end
+        end
+        else if !Trace.on && code_id < 0 then begin
+          let frame =
+            if code_id = Perf.runtime_code_id then "runtime"
+            else if code_id = Perf.builtin_code_id then "builtin"
+            else if code_id = Perf.gc_code_id then "gc"
+            else "other"
+          in
+          if code_total > 0 then
+            Trace.sample
+              ~stack:(bench.Workloads.Suite.id ^ ";" ^ frame)
+              code_total
         end)
       (Perf.samples_by_code s));
   let static_checks, static_insns =

@@ -67,17 +67,33 @@ let run ?jobs cells =
      the plan's job is only to keep every *other* cell running, so the
      per-job results are dropped here and surface when the driver body
      re-reads the caches. *)
-  ignore
-    (Support.Pool.map_result ?jobs
-       (fun (id, arch) ->
-         match Common.removable_groups_result ~arch (by_id id).c_bench with
-         | Ok _ | Error _ -> ())
-       calib);
+  Trace.span_wall ~cat:"experiments"
+    ~arg:(Printf.sprintf "%d cells" (List.length calib))
+    "plan:calibrate" (fun () ->
+      ignore
+        (Support.Pool.map_result ?jobs
+           (fun (id, arch) ->
+             Trace.span_wall ~cat:"support"
+               ~arg:(id ^ "@" ^ Arch.name arch)
+               "pool:job" (fun () ->
+                 match
+                   Common.removable_groups_result ~arch (by_id id).c_bench
+                 with
+                 | Ok _ | Error _ -> ()))
+           calib));
   (* Stage 2: everything else. *)
-  ignore
-    (Support.Pool.map_result ?jobs
-       (fun c -> ignore (execute c))
-       (List.filter (fun c -> c.c_spec <> S_calibration_only) cells))
+  let rest = List.filter (fun c -> c.c_spec <> S_calibration_only) cells in
+  Trace.span_wall ~cat:"experiments"
+    ~arg:(Printf.sprintf "%d cells" (List.length rest))
+    "plan:cells" (fun () ->
+      ignore
+        (Support.Pool.map_result ?jobs
+           (fun c ->
+             Trace.span_wall ~cat:"support"
+               ~arg:
+                 (c.c_bench.Workloads.Suite.id ^ "@" ^ Arch.name c.c_arch)
+               "pool:job" (fun () -> ignore (execute c)))
+           rest))
 
 let result ?cpu ?iters ~arch ~seed variant bench =
   Common.run_cached ?cpu ?iterations:iters ~arch ~seed variant bench

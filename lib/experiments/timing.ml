@@ -7,7 +7,7 @@ let timed figure f =
   let jobs = Support.Pool.default_jobs () in
   let sims0, hits0 = Common.cache_stats () in
   let t0 = Unix.gettimeofday () in
-  f ();
+  Trace.span_wall ~cat:"experiments" ("figure:" ^ figure) f;
   let seconds = Unix.gettimeofday () -. t0 in
   let sims1, hits1 = Common.cache_stats () in
   records := { figure; seconds; jobs } :: !records;

@@ -760,4 +760,7 @@ let compile_program (prog : Ast.program) =
   Array.sort (fun a b -> compare a.Bytecode.fid b.Bytecode.fid) arr;
   { functions = arr; main = main.Bytecode.fid }
 
-let compile src = compile_program (Parser.parse src)
+let compile src =
+  Trace.span_wall ~cat:"jsvm"
+    ~arg:(Printf.sprintf "%d bytes" (String.length src))
+    "parse" (fun () -> compile_program (Parser.parse src))

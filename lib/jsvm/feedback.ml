@@ -83,8 +83,19 @@ let record_prop v i ~map_id site =
            update in place. *)
         p.entries <- (map_id, site) :: List.remove_assoc map_id p.entries
       | None ->
-        if List.length p.entries >= max_polymorphic then p.megamorphic <- true
-        else p.entries <- (map_id, site) :: p.entries
+        if List.length p.entries >= max_polymorphic then begin
+          p.megamorphic <- true;
+          if !Trace.on then
+            Trace.instant ~cat:"jsvm" ~arg:(Printf.sprintf "slot=%d" i)
+              "ic:prop->megamorphic"
+        end
+        else begin
+          p.entries <- (map_id, site) :: p.entries;
+          if !Trace.on then
+            Trace.instant ~cat:"jsvm"
+              ~arg:(Printf.sprintf "slot=%d maps=%d" i (List.length p.entries))
+              "ic:prop-transition"
+        end
     end
   | _ -> invalid_arg "Feedback.record_prop: wrong slot kind"
 
@@ -93,8 +104,19 @@ let record_elem v i ~map_id ~smi_index =
   | Sl_elem e ->
     if not e.megamorphic then begin
       if not (List.mem map_id e.maps) then begin
-        if List.length e.maps >= max_polymorphic then e.megamorphic <- true
-        else e.maps <- map_id :: e.maps
+        if List.length e.maps >= max_polymorphic then begin
+          e.megamorphic <- true;
+          if !Trace.on then
+            Trace.instant ~cat:"jsvm" ~arg:(Printf.sprintf "slot=%d" i)
+              "ic:elem->megamorphic"
+        end
+        else begin
+          e.maps <- map_id :: e.maps;
+          if !Trace.on then
+            Trace.instant ~cat:"jsvm"
+              ~arg:(Printf.sprintf "slot=%d maps=%d" i (List.length e.maps))
+              "ic:elem-transition"
+        end
       end;
       if not smi_index then e.smi_index <- false
     end
@@ -104,8 +126,19 @@ let record_call v i ~target ~target_obj =
   match v.(i) with
   | Sl_call c ->
     if not c.megamorphic && not (List.mem_assoc target c.targets) then begin
-      if List.length c.targets >= 2 then c.megamorphic <- true
-      else c.targets <- (target, target_obj) :: c.targets
+      if List.length c.targets >= 2 then begin
+        c.megamorphic <- true;
+        if !Trace.on then
+          Trace.instant ~cat:"jsvm" ~arg:(Printf.sprintf "slot=%d" i)
+            "ic:call->megamorphic"
+      end
+      else begin
+        c.targets <- (target, target_obj) :: c.targets;
+        if !Trace.on then
+          Trace.instant ~cat:"jsvm"
+            ~arg:(Printf.sprintf "slot=%d targets=%d" i (List.length c.targets))
+            "ic:call-transition"
+      end
     end
   | _ -> invalid_arg "Feedback.record_call: wrong slot kind"
 

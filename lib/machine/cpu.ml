@@ -198,8 +198,19 @@ let cycles t = t.clk.high
    arming is a plain store and the engines' per-instruction check is a
    single float compare.  [reset] deliberately leaves it alone — it is
    enforcement policy, not timing state. *)
-let arm_watchdog t ~cycles = t.clk.fuel_limit <- t.clk.now +. cycles
+let arm_watchdog t ~cycles =
+  t.clk.fuel_limit <- t.clk.now +. cycles;
+  if !Trace.on then
+    Trace.instant_at ~cat:"machine" ~ts:t.clk.high
+      ~arg:(Printf.sprintf "fuel=%.0f" cycles)
+      "watchdog:arm"
+
 let disarm_watchdog t = t.clk.fuel_limit <- infinity
+
+let watchdog_trip clk ~what =
+  if !Trace.on then
+    Trace.instant_at ~cat:"machine" ~ts:clk.high ~arg:what "watchdog:fire";
+  Support.Fault.runaway ~what ~limit:clk.fuel_limit
 
 let latency cfg = function
   | C_alu -> cfg.lat_alu

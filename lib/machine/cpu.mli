@@ -120,6 +120,11 @@ val arm_watchdog : t -> cycles:float -> unit
 
 val disarm_watchdog : t -> unit
 
+val watchdog_trip : clock -> what:string -> 'a
+(** Shared watchdog-expiry path for both execution engines: emits a
+    ["watchdog:fire"] trace instant (when tracing is on) and raises
+    [Support.Fault.Fault (Runaway _)].  Never returns. *)
+
 val latency : config -> insn_class -> float
 (** Static class latency used by {!issue}.  Exposed so the pre-decoded
     executor's local (non-counting) issue paths can reproduce {!issue}'s

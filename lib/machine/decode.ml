@@ -1546,6 +1546,16 @@ let get (code : Code.t) =
   | _ ->
     let p = compile code in
     code.Code.decode_cache <- Decoded p;
+    if !Trace.on then begin
+      let st = p.p_stats in
+      Trace.instant_wall ~cat:"machine"
+        ~arg:
+          (Printf.sprintf "uops=%d slots=%d blocks=%d fused=%d fuse=%b batch=%b"
+             st.st_uops st.st_slots st.st_blocks
+             (Array.fold_left ( + ) 0 st.st_fused)
+             fuse batch)
+        ("decode:" ^ code.Code.name)
+    end;
     p
 
 let warm code = ignore (get code)
@@ -1632,8 +1642,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          let b = Array.unsafe_get blocks k in
          if b >= 0 then begin
            if clk.Cpu.now > clk.Cpu.fuel_limit then
-             Support.Fault.runaway ~what:code.Code.name
-               ~limit:clk.Cpu.fuel_limit;
+             Cpu.watchdog_trip clk ~what:code.Code.name;
            charge st (Array.unsafe_get deltas b)
          end;
          let addr = Array.unsafe_get addrs k in
@@ -1650,8 +1659,7 @@ let run (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
          let b = Array.unsafe_get blocks k in
          if b >= 0 then begin
            if clk.Cpu.now > clk.Cpu.fuel_limit then
-             Support.Fault.runaway ~what:code.Code.name
-               ~limit:clk.Cpu.fuel_limit;
+             Cpu.watchdog_trip clk ~what:code.Code.name;
            charge st (Array.unsafe_get deltas b)
          end;
          let addr = Array.unsafe_get addrs k in

@@ -164,7 +164,7 @@ let run_direct (cpu : Cpu.t) ~host ~(code : Code.t) ~args =
   (try
      while !result = None do
        if clk.Cpu.now > clk.Cpu.fuel_limit then
-         Support.Fault.runaway ~what:code.Code.name ~limit:clk.Cpu.fuel_limit;
+         Cpu.watchdog_trip clk ~what:code.Code.name;
        if !pc >= n_insns then fault "%s: fell off code end" code.Code.name;
        let i = insns.(!pc) in
        let k = i.Insn.kind in

@@ -166,6 +166,9 @@ let sampler_tick s ~now ~code_id ~pc =
     let b = bucket s code_id (pc + 1) in
     b.(pc) <- b.(pc) + 1;
     s.total <- s.total + 1;
+    if !Trace.on && s.total land 1023 = 0 then
+      Trace.counter_at ~cat:"machine" ~ts:now "sampler.samples"
+        (float_of_int s.total);
     advance s
   done
 
@@ -175,6 +178,9 @@ let sampler_bulk s ~from ~until ~code_id =
     let b = bucket s code_id 1 in
     b.(0) <- b.(0) + 1;
     s.total <- s.total + 1;
+    if !Trace.on && s.total land 1023 = 0 then
+      Trace.counter_at ~cat:"machine" ~ts:s.next "sampler.samples"
+        (float_of_int s.total);
     advance s
   done
 

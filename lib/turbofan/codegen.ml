@@ -711,6 +711,7 @@ let check_only_nodes g =
   group
 
 let generate ~code_id ~base_addr ~arch ~remove_deopt_branches ~consts g =
+  Trace.span_wall ~cat:"turbofan" ~arg:g.Son.fname "codegen" @@ fun () ->
   let alloc = Regalloc.allocate g in
   let check_only = check_only_nodes g in
   let e =

@@ -1471,7 +1471,9 @@ let build_pass cfg rt (f : Runtime.func_rt)
 (* Two passes: the first discovers loop-invariant facts, the second
    builds the real graph with hoisted (seeded + edge-guarded) checks. *)
 let build cfg rt f =
-  let seeds = Hashtbl.create 32 in
-  if not cfg.turboprop then
-    ignore (build_pass cfg rt f ~seeds ~record_seeds:true);
-  build_pass cfg rt f ~seeds ~record_seeds:false
+  Trace.span_wall ~cat:"turbofan" ~arg:f.Runtime.info.Bytecode.name
+    "graph-build" (fun () ->
+      let seeds = Hashtbl.create 32 in
+      if not cfg.turboprop then
+        ignore (build_pass cfg rt f ~seeds ~record_seeds:true);
+      build_pass cfg rt f ~seeds ~record_seeds:false)

@@ -23,6 +23,10 @@ let short_circuit_checks (g : Son.t) ~groups =
         blk.Son.body
   done;
   let dce = if !removed > 0 then Son.dead_code_elimination g else 0 in
+  if !Trace.on then
+    Trace.instant_wall ~cat:"turbofan"
+      ~arg:(Printf.sprintf "%s removed=%d dce=%d" g.Son.fname !removed dce)
+      "reduce:short-circuit";
   { checks_removed = !removed; nodes_dce_removed = dce }
 
 (* Value-use map: node -> consumers (via inputs) and fs-consumers. *)
@@ -189,6 +193,10 @@ let fuse_smi_loads (g : Son.t) =
       blk.Son.body
   done;
   if !fused > 0 then ignore (Son.dead_code_elimination g);
+  if !Trace.on && !fused > 0 then
+    Trace.instant_wall ~cat:"turbofan"
+      ~arg:(Printf.sprintf "%s fused=%d" g.Son.fname !fused)
+      "reduce:fuse-smi-loads";
   !fused
 
 let fuse_map_checks (g : Son.t) =
@@ -224,4 +232,8 @@ let fuse_map_checks (g : Son.t) =
       (Son.block g b).Son.body
   done;
   if !fused > 0 then ignore (Son.dead_code_elimination g);
+  if !Trace.on && !fused > 0 then
+    Trace.instant_wall ~cat:"turbofan"
+      ~arg:(Printf.sprintf "%s fused=%d" g.Son.fname !fused)
+      "reduce:fuse-map-checks";
   !fused

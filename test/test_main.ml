@@ -4,4 +4,5 @@ let () =
    @ Test_frontend.suite @ Test_interp.suite @ Test_machine.suite
    @ Test_jit.suite @ Test_turbofan.suite @ Test_experiments.suite
    @ Test_parallel.suite @ Test_exec_determinism.suite @ Test_decode.suite
-   @ Test_engine.suite @ Test_misc.suite @ Test_faults.suite)
+   @ Test_engine.suite @ Test_misc.suite @ Test_faults.suite
+   @ Test_trace.suite)

@@ -84,6 +84,40 @@ let test_median_percentile () =
   check_float "median" 3.0 m;
   check_float "q3" 4.0 q3
 
+(* Degenerate sample sizes (the counter-timeline exporter summarizes
+   arbitrary, possibly single-event, series): n=1 must return the lone
+   element at every p, and n=2 must interpolate linearly between the
+   two order statistics (rank = p/100 * (n-1)). *)
+let test_percentile_edge_cases () =
+  let one = [| 42.0 |] in
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "n=1 p%g" p)
+        42.0
+        (Support.Stats.percentile one p))
+    [ 0.0; 25.0; 50.0; 75.0; 100.0 ];
+  let q1, m, q3 = Support.Stats.quartiles one in
+  check_float "n=1 q1" 42.0 q1;
+  check_float "n=1 median" 42.0 m;
+  check_float "n=1 q3" 42.0 q3;
+  let two = [| 10.0; 20.0 |] in
+  check_float "n=2 p0" 10.0 (Support.Stats.percentile two 0.0);
+  check_float "n=2 p25" 12.5 (Support.Stats.percentile two 25.0);
+  check_float "n=2 p50" 15.0 (Support.Stats.percentile two 50.0);
+  check_float "n=2 p75" 17.5 (Support.Stats.percentile two 75.0);
+  check_float "n=2 p100" 20.0 (Support.Stats.percentile two 100.0);
+  (* Order independence: percentile sorts internally. *)
+  check_float "n=2 unsorted p25" 12.5
+    (Support.Stats.percentile [| 20.0; 10.0 |] 25.0);
+  let q1, m, q3 = Support.Stats.quartiles two in
+  check_float "n=2 q1" 12.5 q1;
+  check_float "n=2 median" 15.0 m;
+  check_float "n=2 q3" 17.5 q3;
+  let lo, hi = Support.Stats.min_max one in
+  check_float "n=1 min" 42.0 lo;
+  check_float "n=1 max" 42.0 hi
+
 let test_geomean () =
   check_float "geomean" 4.0 (Support.Stats.geomean [| 2.0; 8.0 |])
 
@@ -238,6 +272,8 @@ let suite =
       [
         Alcotest.test_case "mean/var" `Quick test_mean_var;
         Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+        Alcotest.test_case "percentile n=1/n=2 edges" `Quick
+          test_percentile_edge_cases;
         Alcotest.test_case "geomean" `Quick test_geomean;
         Alcotest.test_case "erf/normal" `Quick test_erf_normal;
         Alcotest.test_case "log_gamma" `Quick test_log_gamma;

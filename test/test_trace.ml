@@ -1,0 +1,243 @@
+(* Vspec.Trace: exporter goldens, ring-wrap semantics, zero-perturbation.
+
+   The golden tests drive the Trace API with a fixed, scripted event
+   sequence (sim-domain only, so no wall-clock nondeterminism) and
+   compare the rendered exporter output byte-for-byte.  The
+   determinism test extends test_exec_determinism's bit-identity
+   contract: a full harness run must digest identically with tracing
+   off, on, and with a ring buffer small enough to wrap. *)
+
+let () = Unix.putenv "VSPEC_CACHE_DIR" "off"
+
+let with_tracing ?capacity f =
+  Trace.enable ?capacity ();
+  Fun.protect ~finally:Trace.disable f
+
+let test_format_of_path () =
+  Alcotest.(check bool)
+    "json -> Chrome" true
+    (Trace.format_of_path "a/b/trace.json" = Trace.Chrome);
+  Alcotest.(check bool)
+    "no extension -> Chrome" true
+    (Trace.format_of_path "trace" = Trace.Chrome);
+  Alcotest.(check bool)
+    "folded" true
+    (Trace.format_of_path "x.folded" = Trace.Folded);
+  Alcotest.(check bool) "csv" true (Trace.format_of_path "x.csv" = Trace.Csv)
+
+(* The fixed workload: three sim-domain events, one per exporter shape. *)
+let scripted_events () =
+  Trace.complete_at ~arg:"f" ~cat:"jsvm" ~ts:10.0 ~dur:5.0 "tier-up:optimize";
+  Trace.instant_at ~cat:"machine" ~ts:12.0 "watchdog:arm";
+  Trace.counter_at ~cat:"experiments" ~ts:20.0 "iter_cycles" 123.0
+
+let chrome_golden =
+  "{\"traceEvents\":[\n\
+   {\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"simulated clock (1 cycle = 1us)\"}},\n\
+   {\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"wall clock\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"jsvm\"}},\n\
+   {\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"jsvm\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"turbofan\"}},\n\
+   {\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"turbofan\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":3,\"name\":\"thread_name\",\"args\":{\"name\":\"machine\"}},\n\
+   {\"ph\":\"M\",\"pid\":1,\"tid\":3,\"name\":\"thread_name\",\"args\":{\"name\":\"machine\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":4,\"name\":\"thread_name\",\"args\":{\"name\":\"experiments\"}},\n\
+   {\"ph\":\"M\",\"pid\":1,\"tid\":4,\"name\":\"thread_name\",\"args\":{\"name\":\"experiments\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":5,\"name\":\"thread_name\",\"args\":{\"name\":\"support\"}},\n\
+   {\"ph\":\"M\",\"pid\":1,\"tid\":5,\"name\":\"thread_name\",\"args\":{\"name\":\"support\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":6,\"name\":\"thread_name\",\"args\":{\"name\":\"misc\"}},\n\
+   {\"ph\":\"M\",\"pid\":1,\"tid\":6,\"name\":\"thread_name\",\"args\":{\"name\":\"misc\"}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":10.000,\"name\":\"tier-up:optimize\",\"cat\":\"jsvm\",\"dur\":5.000,\"args\":{\"detail\":\"f\"}},\n\
+   {\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":3,\"ts\":12.000,\"name\":\"watchdog:arm\",\"cat\":\"machine\",\"args\":{\"detail\":\"\"}},\n\
+   {\"ph\":\"C\",\"pid\":0,\"tid\":4,\"ts\":20.000,\"name\":\"iter_cycles\",\"cat\":\"experiments\",\"args\":{\"value\":123}}\n\
+   ]}\n"
+
+let test_chrome_golden () =
+  with_tracing (fun () ->
+      scripted_events ();
+      let buf = Buffer.create 256 in
+      Trace.render Trace.Chrome buf;
+      Alcotest.(check string) "chrome export" chrome_golden (Buffer.contents buf))
+
+let test_folded_golden () =
+  with_tracing (fun () ->
+      Trace.sample ~stack:"DP;bench;main" 5;
+      Trace.sample ~stack:"DP;bench;check:not-smi" 2;
+      Trace.sample ~stack:"DP;bench;main" 3;
+      let buf = Buffer.create 64 in
+      Trace.render Trace.Folded buf;
+      Alcotest.(check string)
+        "folded export (merged, sorted)"
+        "DP;bench;check:not-smi 2\nDP;bench;main 8\n"
+        (Buffer.contents buf))
+
+let test_csv_golden () =
+  with_tracing (fun () ->
+      List.iteri
+        (fun i v ->
+          Trace.counter_at ~cat:"experiments"
+            ~ts:(float_of_int (i + 1))
+            "iter_cycles" v)
+        [ 1.0; 2.0; 3.0; 4.0 ];
+      let buf = Buffer.create 64 in
+      Trace.render Trace.Csv buf;
+      Alcotest.(check string)
+        "csv export with quartile footer"
+        "ts,domain,category,name,value\n\
+         1.000,sim,experiments,iter_cycles,1\n\
+         2.000,sim,experiments,iter_cycles,2\n\
+         3.000,sim,experiments,iter_cycles,3\n\
+         4.000,sim,experiments,iter_cycles,4\n\
+         # summary,experiments/iter_cycles,n=4,min=1,q1=1.75,median=2.5,q3=3.25,max=4\n"
+        (Buffer.contents buf))
+
+let test_ring_wrap () =
+  with_tracing ~capacity:16 (fun () ->
+      for i = 0 to 39 do
+        Trace.instant_at ~cat:"machine" ~ts:(float_of_int i) "tick"
+      done;
+      Alcotest.(check int) "capacity" 16 (Trace.capacity ());
+      Alcotest.(check int) "emitted counts all" 40 (Trace.emitted ());
+      Alcotest.(check int) "dropped = overwritten" 24 (Trace.dropped ());
+      let evs = Trace.events () in
+      Alcotest.(check int) "live events" 16 (List.length evs);
+      Alcotest.(check (float 0.0))
+        "oldest surviving first" 24.0
+        (List.hd evs).Trace.ev_ts;
+      Alcotest.(check (float 0.0))
+        "newest last" 39.0
+        (List.nth evs 15).Trace.ev_ts)
+
+let test_capacity_clamp () =
+  with_tracing ~capacity:3 (fun () ->
+      Alcotest.(check int) "clamped to >= 16" 16 (Trace.capacity ()))
+
+let test_span_on_exception () =
+  with_tracing (fun () ->
+      (try Trace.span ~cat:"jsvm" "doomed" (fun () -> raise Exit)
+       with Exit -> ());
+      match Trace.events () with
+      | [ e ] ->
+        Alcotest.(check bool) "span kind" true (e.Trace.ev_kind = Trace.Span);
+        Alcotest.(check string) "span name" "doomed" e.Trace.ev_name
+      | evs ->
+        Alcotest.failf "expected exactly one event, got %d" (List.length evs))
+
+let test_off_is_silent () =
+  Trace.disable ();
+  Trace.instant ~cat:"jsvm" "ignored";
+  Trace.counter ~cat:"jsvm" "ignored" 1.0;
+  Alcotest.(check bool) "inactive" false (Trace.active ());
+  Alcotest.(check int) "nothing recorded" 0 (Trace.emitted ());
+  Alcotest.(check int)
+    "span runs its thunk untraced" 3
+    (Trace.span ~cat:"jsvm" "s" (fun () -> 3))
+
+let test_unwritable_path () =
+  (match Trace.configure ~path:"/nonexistent-vspec-dir/sub/trace.json" () with
+  | Ok () -> Alcotest.fail "configure accepted an unwritable path"
+  | Error msg ->
+    Alcotest.(check bool)
+      "degradation message names the path" true
+      (try
+         ignore (Str.search_forward (Str.regexp_string "nonexistent") msg 0);
+         true
+       with Not_found -> false));
+  Alcotest.(check bool) "tracing stayed off" false (Trace.active ());
+  (* No --trace flag and no VSPEC_TRACE: setup is a no-op. *)
+  Unix.putenv "VSPEC_TRACE" "";
+  match Trace.setup () with
+  | Ok enabled -> Alcotest.(check bool) "setup without path" false enabled
+  | Error m -> Alcotest.fail m
+
+let test_write_and_finalize () =
+  let path = Filename.temp_file "vspec-trace" ".json" in
+  (match Trace.configure ~path () with
+  | Error m -> Alcotest.fail m
+  | Ok () -> ());
+  scripted_events ();
+  (match Trace.finalize () with
+  | Ok (Some (p, n)) ->
+    Alcotest.(check string) "finalize path" path p;
+    Alcotest.(check int) "finalize count" 3 n
+  | Ok None -> Alcotest.fail "finalize lost the configured path"
+  | Error m -> Alcotest.fail m);
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file is a chrome trace" true
+    (String.length text > 0
+    && String.sub text 0 15 = "{\"traceEvents\":");
+  Alcotest.(check bool) "finalize disabled tracing" false (Trace.active ());
+  match Trace.finalize () with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "finalize is not idempotent"
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Zero-perturbation: the determinism contract with tracing on         *)
+(* ------------------------------------------------------------------ *)
+
+let digest (r : Experiments.Harness.result) =
+  Digest.to_hex (Digest.string (Marshal.to_string r []))
+
+let harness_run () =
+  let bench = Option.get (Workloads.Suite.by_id "DP") in
+  let config = Experiments.Common.config_for ~arch:Arch.Arm64 ~seed:1
+      Experiments.Common.V_normal in
+  Experiments.Harness.run ~iterations:20 ~config bench
+
+let test_determinism_on_off_wrapped () =
+  Trace.disable ();
+  let d_off = digest (harness_run ()) in
+  Trace.enable ();
+  let d_on = digest (harness_run ()) in
+  let events_on = Trace.emitted () in
+  Trace.disable ();
+  (* Capacity 16 wraps thousands of times over a 20-iteration run. *)
+  Trace.enable ~capacity:16 ();
+  let d_wrapped = digest (harness_run ()) in
+  let dropped = Trace.dropped () in
+  Trace.disable ();
+  Alcotest.(check bool) "tracing produced events" true (events_on > 0);
+  Alcotest.(check bool) "wrapped ring dropped events" true (dropped > 0);
+  Alcotest.(check string) "digest on == off" d_off d_on;
+  Alcotest.(check string) "digest wrapped == off" d_off d_wrapped
+
+let test_all_layers_present () =
+  Trace.enable ();
+  ignore (harness_run ());
+  let cats =
+    List.sort_uniq compare
+      (List.map (fun e -> e.Trace.ev_cat) (Trace.events ()))
+  in
+  Trace.disable ();
+  List.iter
+    (fun layer ->
+      Alcotest.(check bool)
+        (Printf.sprintf "layer %s traced" layer)
+        true (List.mem layer cats))
+    [ "jsvm"; "turbofan"; "machine"; "experiments" ]
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "format from path" `Quick test_format_of_path;
+        Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
+        Alcotest.test_case "folded golden" `Quick test_folded_golden;
+        Alcotest.test_case "csv golden" `Quick test_csv_golden;
+        Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+        Alcotest.test_case "capacity clamp" `Quick test_capacity_clamp;
+        Alcotest.test_case "span emits on exception" `Quick
+          test_span_on_exception;
+        Alcotest.test_case "off is silent" `Quick test_off_is_silent;
+        Alcotest.test_case "unwritable path degrades" `Quick
+          test_unwritable_path;
+        Alcotest.test_case "write and finalize" `Quick test_write_and_finalize;
+        Alcotest.test_case "determinism on/off/wrapped" `Quick
+          test_determinism_on_off_wrapped;
+        Alcotest.test_case "all layers traced" `Quick test_all_layers_present;
+      ] );
+  ]
